@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-medium bench-paper report examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-medium:
+	REPRO_SCALE=medium $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; echo; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache build *.egg-info src/*.egg-info

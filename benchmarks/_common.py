@@ -1,0 +1,24 @@
+"""Shared output plumbing for the figure benchmarks.
+
+Each bench regenerates one paper figure's rows, prints them (visible
+with ``pytest benchmarks/ -s`` or on the captured-output section of a
+failure) and writes them under ``benchmarks/out/`` so EXPERIMENTS.md
+can be assembled from the files.  The ``benchmark`` fixture times a
+representative unit of work; the full series is computed exactly once
+per run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, title: str, body: str) -> str:
+    """Print and persist one figure's regenerated series."""
+    text = f"== {title} ==\n{body}\n"
+    print(f"\n{text}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text)
+    return text

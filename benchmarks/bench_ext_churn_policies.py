@@ -1,0 +1,44 @@
+"""Extension: the §5.2 maintenance-policy spectrum under churn.
+
+Identical overlays and churn traces; only the staleness policy
+differs (departures are mostly ungraceful, so the policies actually
+diverge).  Expected shape: reactive keeps the maps cleanest for free
+(it piggybacks on failed uses), periodic buys cleanliness with ping
+traffic, proactive helps only for the graceful minority -- while
+routing stretch stays policy-insensitive, because the hybrid
+RTT-confirms candidates before installing them."""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import churn_timeline
+
+
+def bench_churn_maintenance_policies(benchmark):
+    scale = current_scale()
+    rows = churn_timeline.run(scale=scale)
+    emit(
+        "ext_churn_policies",
+        f"§5.2: maintenance policies under churn ({scale.name})",
+        format_table(rows),
+    )
+
+    from repro.core.churn import ChurnDriver, ChurnEvent
+    from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+    overlay = build_overlay(
+        "tsk-large", "manual", num_nodes=min(64, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    driver = ChurnDriver(overlay)
+    counter = iter(range(10 ** 9))
+
+    def unit():
+        driver.apply(ChurnEvent(time=float(next(counter)), kind="join"))
+
+    benchmark(unit)
+
+    by = {r["policy"]: r for r in rows}
+    assert by["periodic"]["maintenance_pings"] > 0
+    assert by["reactive"]["stale_entries"] <= by["proactive"]["stale_entries"]
+    for row in rows:
+        assert row["final_stretch"] is not None

@@ -1,0 +1,36 @@
+"""Extension: routing through mass simultaneous crashes.
+
+The paper chooses a 2-d eCAN "to give a reasonable fault-tolerance
+capability".  Here a fraction of members crash at once -- their
+soft-state records and every table entry pointing at them go stale --
+and the survivors keep routing with lazy repair.
+
+Expected shape: success rate stays at 1.0 (the CAN invariant keeps
+every key owned; greedy + repair always completes), stretch degrades
+only mildly, and repair traffic scales with the crash fraction."""
+
+from _common import emit
+from repro.experiments import SCALES, current_scale, format_table
+from repro.experiments import failure_resilience
+
+
+def bench_failure_resilience(benchmark):
+    scale = current_scale()
+    rows = failure_resilience.run(scale=scale)
+    emit(
+        "ext_failure_resilience",
+        f"Fault tolerance: mass crashes with lazy repair ({scale.name})",
+        format_table(rows),
+    )
+
+    benchmark.pedantic(
+        lambda: failure_resilience.run(
+            scale=SCALES["quick"], crash_fractions=(0.1,), probes=32
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    for row in rows:
+        assert row["success_rate"] >= 0.95
+    assert rows[-1]["table_repairs"] > rows[0]["table_repairs"]

@@ -1,0 +1,36 @@
+"""Extension: the per-join message bill of maintaining global state.
+
+§5.1: "each node will appear in a maximum of log(N) such maps ...
+this, we believe, is not a big issue."  This bench itemizes the cost
+of one join at several overlay sizes.
+
+Expected shape: the per-join total grows polylogarithmically (publish
+and lookup routes of O(log N) hops to O(log N) regions), nowhere near
+linear in N."""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import join_cost
+
+
+def bench_join_cost_scaling(benchmark):
+    scale = current_scale()
+    rows = join_cost.run(scale=scale)
+    emit(
+        "ext_join_cost",
+        f"§5.1: per-join message cost by category vs N ({scale.name})",
+        format_table(rows),
+    )
+
+    from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+    overlay = build_overlay(
+        "tsk-large", "manual", num_nodes=min(96, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    benchmark(lambda: overlay.add_node())
+
+    first, last = rows[0], rows[-1]
+    growth = last["total_per_join"] / first["total_per_join"]
+    size_growth = last["N"] / first["N"]
+    assert growth < size_growth / 2  # strongly sublinear in N

@@ -1,0 +1,60 @@
+"""Extension: the soft-state technique ported to Pastry.
+
+Pastry is the paper's main comparison point; its own
+proximity-neighbor selection relies on expanding-ring search /
+heuristics for bootstrap.  Here Pastry's routing-table slots are
+filled three ways -- random prefix-matching node, soft-state maps +
+RTT probes, oracle closest -- over the same membership.
+
+Expected shape: soft-state matches the oracle and beats random by a
+large factor (base-4 prefix routing gives proximity selection many
+high-choice hops, unlike the binary Chord ring)."""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments.common import get_network
+from repro.netsim import Network
+from repro.pastry import build_soft_state_pastry
+
+
+def bench_pastry_generality(benchmark):
+    scale = current_scale()
+    shared = get_network("tsk-large", "manual", scale.topo_scale, 0)
+    num_nodes = min(192, scale.overlay_nodes)
+
+    rows = []
+    for policy in ("random", "softstate", "optimal"):
+        network = Network(shared.topology, shared.latency_model)
+        ring, _ = build_soft_state_pastry(
+            network, num_nodes, policy_name=policy, digits=14, seed=7
+        )
+        stretch = ring.measure_stretch(
+            min(600, scale.route_samples), rng=np.random.default_rng(11)
+        )
+        rows.append(
+            {
+                "slot policy": policy,
+                "mean_stretch": float(stretch.mean()),
+                "messages": network.stats.total(),
+            }
+        )
+    emit(
+        "ext_pastry_generality",
+        f"Extension: soft-state slot selection on Pastry ({scale.name})",
+        format_table(rows),
+    )
+
+    ring, _ = build_soft_state_pastry(shared, 64, policy_name="random", digits=12, seed=3)
+    rng = np.random.default_rng(5)
+
+    def unit():
+        for _ in range(50):
+            ring.route(ring.random_member(), int(rng.integers(0, ring.space)))
+
+    benchmark(unit)
+
+    by = {r["slot policy"]: r["mean_stretch"] for r in rows}
+    assert by["softstate"] < 0.7 * by["random"]
+    assert by["optimal"] <= by["softstate"] * 1.2

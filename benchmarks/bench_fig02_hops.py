@@ -1,0 +1,36 @@
+"""Figure 2: eCAN (EXP) vs plain CAN logical hops across overlay sizes.
+
+Paper shape: eCAN d=2 grows ~log N and beats CAN up to d=5, whose
+hops grow as ~(d/4) N^(1/d).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig02_hops
+
+
+def bench_fig02_ecan_vs_can_hops(benchmark):
+    scale = current_scale()
+    rows = fig02_hops.run(scale=scale)
+    emit(
+        "fig02_hops",
+        f"Figure 2: mean logical hops vs N ({scale.name} scale)",
+        format_table(rows),
+    )
+
+    # timed unit: routing 100 lookups through a mid-size eCAN
+    ecan = fig02_hops.build_ecan(min(512, max(scale.fig2_sweep)), seed=1)
+    rng = np.random.default_rng(2)
+    points = [tuple(rng.random(2)) for _ in range(100)]
+
+    def unit():
+        for point in points:
+            ecan.route(ecan.can.random_node(), point)
+
+    benchmark(unit)
+
+    by = {(r["variant"], r["N"]): r["mean_hops"] for r in rows}
+    largest = max(scale.fig2_sweep)
+    assert by[("eCAN (EXP), d=2", largest)] < by[("CAN, d=2", largest)]

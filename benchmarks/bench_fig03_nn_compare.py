@@ -1,0 +1,39 @@
+"""Figure 3: hybrid landmark+RTT vs expanding-ring search, tsk-large.
+
+Paper shape: the hybrid reaches stretch ~1 with tens of probes; ERS
+needs orders of magnitude more; the first hybrid point (1 probe) is
+landmark clustering alone and is poor.
+"""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig03_06_nn
+
+
+def bench_fig03_hybrid_vs_ers_tsk_large(benchmark):
+    scale = current_scale()
+    rows = fig03_06_nn.run(
+        "tsk-large", scale=scale, methods=("lmk+rtt", "order", "gnp", "ers")
+    )
+    emit(
+        "fig03_nn_compare",
+        f"Figure 3: nearest-neighbor stretch vs probes, tsk-large ({scale.name})",
+        format_table(rows),
+    )
+
+    testbed = fig03_06_nn.NearestNeighborTestbed(
+        "tsk-large", "generated", scale.topo_scale, seed=0
+    )
+    queries = testbed.sample_queries(4)
+
+    def unit():
+        for q in queries:
+            testbed.hybrid_curve(int(q), budget=16)
+
+    benchmark(unit)
+
+    hybrid = {r["probes"]: r["mean_stretch"] for r in rows if r["method"] == "lmk+rtt"}
+    ers = {r["probes"]: r["mean_stretch"] for r in rows if r["method"] == "ers"}
+    best_hybrid_budget = max(hybrid)
+    comparable_ers = min(b for b in ers if b >= best_hybrid_budget)
+    assert hybrid[best_hybrid_budget] < ers[comparable_ers]

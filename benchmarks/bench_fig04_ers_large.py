@@ -1,0 +1,35 @@
+"""Figure 4: expanding-ring search alone on tsk-large.
+
+Paper shape: stretch falls slowly; thousands of probes are needed for
+a good result on a sparse-stub topology.
+"""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig03_06_nn
+
+
+def bench_fig04_ers_tsk_large(benchmark):
+    scale = current_scale()
+    rows = fig03_06_nn.run("tsk-large", scale=scale, methods=("ers",))
+    emit(
+        "fig04_ers_large",
+        f"Figure 4: ERS stretch vs probes, tsk-large ({scale.name})",
+        format_table(rows),
+    )
+
+    testbed = fig03_06_nn.NearestNeighborTestbed(
+        "tsk-large", "generated", scale.topo_scale, seed=0
+    )
+    queries = testbed.sample_queries(2)
+
+    def unit():
+        for q in queries:
+            testbed.ers_curve(int(q), budget=min(scale.ers_budgets[-1], 200))
+
+    benchmark(unit)
+
+    ordered = sorted(rows, key=lambda r: r["probes"])
+    assert ordered[-1]["mean_stretch"] <= ordered[0]["mean_stretch"]
+    # even the largest ERS budget is still visibly above ideal
+    assert ordered[0]["mean_stretch"] > 2.0

@@ -1,0 +1,35 @@
+"""Figure 5: the hybrid search on tsk-small (dense stubs).
+
+Paper shape: dense edge networks are harder -- the hybrid needs more
+probes than on tsk-large to approach the ideal, but still improves
+quickly with the probe budget.
+"""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig03_06_nn
+
+
+def bench_fig05_hybrid_tsk_small(benchmark):
+    scale = current_scale()
+    rows = fig03_06_nn.run("tsk-small", scale=scale, methods=("lmk+rtt",))
+    emit(
+        "fig05_hybrid_small",
+        f"Figure 5: hybrid stretch vs probes, tsk-small ({scale.name})",
+        format_table(rows),
+    )
+
+    testbed = fig03_06_nn.NearestNeighborTestbed(
+        "tsk-small", "generated", scale.topo_scale, seed=0
+    )
+    queries = testbed.sample_queries(4)
+
+    def unit():
+        for q in queries:
+            testbed.hybrid_curve(int(q), budget=16)
+
+    benchmark(unit)
+
+    ordered = sorted(rows, key=lambda r: r["probes"])
+    assert ordered[-1]["mean_stretch"] <= ordered[0]["mean_stretch"]
+    assert ordered[-1]["mean_stretch"] < 2.0  # near-ideal with the full budget

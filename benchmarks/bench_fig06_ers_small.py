@@ -1,0 +1,34 @@
+"""Figure 6: expanding-ring search alone on tsk-small.
+
+Paper shape: same blindness as Figure 4; with dense stubs the rings
+contain closer nodes so absolute stretch is lower than on tsk-large,
+but convergence still takes hundreds-to-thousands of probes.
+"""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig03_06_nn
+
+
+def bench_fig06_ers_tsk_small(benchmark):
+    scale = current_scale()
+    rows = fig03_06_nn.run("tsk-small", scale=scale, methods=("ers",))
+    emit(
+        "fig06_ers_small",
+        f"Figure 6: ERS stretch vs probes, tsk-small ({scale.name})",
+        format_table(rows),
+    )
+
+    testbed = fig03_06_nn.NearestNeighborTestbed(
+        "tsk-small", "generated", scale.topo_scale, seed=0
+    )
+    queries = testbed.sample_queries(2)
+
+    def unit():
+        for q in queries:
+            testbed.ers_curve(int(q), budget=min(scale.ers_budgets[-1], 200))
+
+    benchmark(unit)
+
+    ordered = sorted(rows, key=lambda r: r["probes"])
+    assert ordered[-1]["mean_stretch"] <= ordered[0]["mean_stretch"]

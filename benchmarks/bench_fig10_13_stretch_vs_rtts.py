@@ -1,0 +1,49 @@
+"""Figures 10-13: routing stretch vs RTT budget and landmark count.
+
+Four panels: {tsk-large, tsk-small} x {generated, manual} latencies.
+Paper shape per panel: soft-state curves sit between the random
+baseline and the optimal line and approach optimal as the RTT budget
+grows; landmark count matters most for manual latencies.
+"""
+
+import pytest
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig10_13_stretch_rtts
+
+PANELS = [
+    ("fig10", "tsk-large", "generated"),
+    ("fig11", "tsk-large", "manual"),
+    ("fig12", "tsk-small", "generated"),
+    ("fig13", "tsk-small", "manual"),
+]
+
+
+@pytest.mark.parametrize("figure,topology,latency", PANELS)
+def bench_stretch_vs_rtts(benchmark, figure, topology, latency):
+    scale = current_scale()
+    rows = fig10_13_stretch_rtts.run(topology, latency, scale=scale)
+    emit(
+        f"{figure}_stretch_vs_rtts",
+        f"Figure {figure[3:]}: stretch vs RTT probes, {topology}, "
+        f"{latency} latencies ({scale.name})",
+        format_table(rows),
+    )
+
+    overlay = fig10_13_stretch_rtts.build_overlay(
+        topology,
+        latency,
+        num_nodes=min(128, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    benchmark(lambda: overlay.measure_stretch(samples=64))
+
+    by_label = {}
+    for r in rows:
+        by_label.setdefault(r["landmarks"], []).append(r["mean_stretch"])
+    best_softstate = min(
+        v for k, vals in by_label.items() if isinstance(k, int) for v in vals
+    )
+    assert by_label["optimal"][0] <= best_softstate * 1.35
+    assert best_softstate < by_label["random"][0]

@@ -1,0 +1,43 @@
+"""Figures 14-15: routing stretch vs overlay size, soft-state vs random.
+
+Paper shape: the soft-state overlay beats random neighbor selection
+at every size on both topologies (a 20-50% latency saving), with the
+relative win typically larger on tsk-small.
+"""
+
+import pytest
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig14_15_stretch_nodes
+
+
+@pytest.mark.parametrize(
+    "figure,latency", [("fig14", "generated"), ("fig15", "manual")]
+)
+def bench_stretch_vs_nodes(benchmark, figure, latency):
+    scale = current_scale()
+    rows = fig14_15_stretch_nodes.run(latency, scale=scale)
+    emit(
+        f"{figure}_stretch_vs_nodes",
+        f"Figure {figure[3:]}: stretch vs overlay size, {latency} latencies "
+        f"({scale.name})",
+        format_table(rows),
+    )
+
+    from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+    overlay = build_overlay(
+        "tsk-large", latency, num_nodes=min(128, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    benchmark(lambda: overlay.measure_stretch(samples=64))
+
+    by = {(r["topology"], r["policy"], r["N"]): r["mean_stretch"] for r in rows}
+    wins = sum(
+        by[(topo, "softstate", n)] < by[(topo, "random", n)]
+        for topo in ("tsk-large", "tsk-small")
+        for n in scale.node_sweep
+    )
+    total = 2 * len(scale.node_sweep)
+    assert wins >= total - 1  # soft-state wins essentially everywhere

@@ -1,0 +1,36 @@
+"""Figure 16: the map condense-rate sweep.
+
+Paper shape: condensing the map raises entries-per-node (dashed line)
+while stretch (solid line) stays essentially flat -- ~10 entries per
+node already suffice.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig16_condense
+
+
+def bench_fig16_condense_rate(benchmark):
+    scale = current_scale()
+    rows = fig16_condense.run(scale=scale)
+    emit(
+        "fig16_condense_rate",
+        f"Figure 16: map entries/node and stretch vs condense rate ({scale.name})",
+        format_table(rows),
+    )
+
+    from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+    overlay = build_overlay(
+        "tsk-large", "manual", num_nodes=min(128, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    benchmark(lambda: overlay.store.entries_per_node())
+
+    # condensing concentrates the map on fewer hosting nodes...
+    assert rows[0]["hosting_nodes"] <= rows[-1]["hosting_nodes"]
+    # ...while stretch stays within a modest band across the sweep
+    stretches = np.array([r["mean_stretch"] for r in rows])
+    assert stretches.max() <= stretches.min() * 1.6

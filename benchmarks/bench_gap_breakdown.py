@@ -1,0 +1,36 @@
+"""§5.4: breakdown of the two performance gaps.
+
+Paper shape: shortest path (1.0) -> optimal-under-prefix-constraint
+(the structural gap, tens of percent) -> landmark+RTT soft-state (the
+information gap on top) -> random baseline far above; soft-state cuts
+a large fraction of the random baseline's latency.
+"""
+
+import pytest
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import fig10_13_stretch_rtts
+
+
+@pytest.mark.parametrize("topology", ["tsk-large", "tsk-small"])
+def bench_gap_breakdown(benchmark, topology):
+    scale = current_scale()
+    gaps = fig10_13_stretch_rtts.gap_breakdown(
+        topology=topology, latency="manual", scale=scale
+    )
+    emit(
+        f"gap_breakdown_{topology}",
+        f"§5.4 gap breakdown, {topology}, manual latencies ({scale.name})",
+        format_table([gaps]),
+    )
+
+    overlay = fig10_13_stretch_rtts.build_overlay(
+        topology, "manual", num_nodes=min(96, scale.overlay_nodes),
+        topo_scale=scale.topo_scale,
+    )
+    benchmark(lambda: overlay.measure_stretch(samples=48))
+
+    assert gaps["structural_gap"] > 0        # the prefix constraint costs
+    assert gaps["information_gap"] > -0.2    # soft-state ~never beats oracle
+    assert gaps["softstate_vs_random_saving"] > 0.15

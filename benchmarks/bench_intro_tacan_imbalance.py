@@ -1,0 +1,39 @@
+"""Section 1 claim: Topologically-Aware CAN's layout imbalance.
+
+Paper claim (digits restored): in a ~10k-node Topologically-Aware
+CAN, ~10% of nodes can occupy 80-98% of the Cartesian space and some
+nodes keep 20-30 neighbors.  Shape to reproduce: the
+landmark-constrained layout concentrates the space on far fewer nodes
+than a uniform CAN, and its neighbor-count tail is heavier.
+"""
+
+from _common import emit
+from repro.experiments import current_scale, format_table
+from repro.experiments import intro_tacan_imbalance
+
+
+def bench_tacan_imbalance(benchmark):
+    scale = current_scale()
+    result = intro_tacan_imbalance.run(scale=scale, num_landmarks=5)
+    rows = [
+        {"layout": "topologically-aware CAN", **result["tacan"]},
+        {"layout": "uniform CAN", **result["uniform"]},
+    ]
+    emit(
+        "intro_tacan_imbalance",
+        f"§1: zone-volume concentration, N={result['N']} ({scale.name})",
+        format_table(rows),
+    )
+
+    network = intro_tacan_imbalance.get_network(
+        "tsk-large", "generated", scale.topo_scale, 0
+    )
+    benchmark(
+        lambda: intro_tacan_imbalance.build_tacan(network, 64, num_landmarks=4)
+    )
+
+    assert (
+        result["tacan"]["nodes_for_80pct_space"]
+        < result["uniform"]["nodes_for_80pct_space"]
+    )
+    assert result["tacan"]["max_neighbors"] >= result["uniform"]["max_neighbors"] - 1

@@ -1,0 +1,31 @@
+"""§5.2 ablation: demand-driven pub/sub vs periodic polling.
+
+Paper claim to quantify: subscriptions keep routing tables as good as
+periodic full re-checks at a fraction of the message cost, and both
+beat leaving tables stale.
+"""
+
+from _common import emit
+from repro.experiments import SCALES, current_scale, format_table
+from repro.experiments import pubsub_ablation
+
+
+def bench_pubsub_vs_polling(benchmark):
+    scale = current_scale()
+    rows = pubsub_ablation.run(scale=scale)
+    emit(
+        "pubsub_vs_polling",
+        f"§5.2: maintenance messages vs final stretch ({scale.name})",
+        format_table(rows),
+    )
+
+    # one small single-round unit; full-mode reruns would dominate
+    benchmark.pedantic(
+        lambda: pubsub_ablation.run_mode("none", scale=SCALES["quick"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    by = {r["mode"]: r for r in rows}
+    assert by["pubsub"]["maintenance_messages"] < by["polling"]["maintenance_messages"]
+    assert by["pubsub"]["mean_stretch"] <= by["none"]["mean_stretch"] * 1.1

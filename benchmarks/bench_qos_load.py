@@ -1,0 +1,40 @@
+"""§6 extension: trading proximity for forwarding headroom.
+
+Paper sketch to quantify: publishing load statistics with the
+proximity records and scoring candidates by RTT x utilization lowers
+the utilization tail at a small stretch cost.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import SCALES, current_scale, format_table
+from repro.experiments import qos_load
+
+
+def bench_qos_load_tradeoff(benchmark):
+    scale = current_scale()
+    seeds = (0, 1, 2)
+    all_rows = []
+    for seed in seeds:
+        for row in qos_load.run(scale=scale, seed=seed, weights=(0.0, 0.5, 2.0)):
+            all_rows.append({"seed": seed, **row})
+    emit(
+        "qos_load_tradeoff",
+        f"§6: load-aware vs proximity-only selection ({scale.name})",
+        format_table(all_rows),
+    )
+
+    # the timed unit is one small end-to-end cycle; a single round --
+    # re-running full builds many times would dominate the suite
+    benchmark.pedantic(
+        lambda: qos_load.run_weight(0.0, scale=SCALES["quick"], messages=96),
+        rounds=1,
+        iterations=1,
+    )
+
+    tail = {w: [] for w in (0.0, 2.0)}
+    for row in all_rows:
+        if row["load_weight"] in tail:
+            tail[row["load_weight"]].append(row["p99_utilization"])
+    assert np.mean(tail[2.0]) < np.mean(tail[0.0]) * 1.05

@@ -1,0 +1,65 @@
+"""Demand-driven overlay adaptation through publish/subscribe.
+
+Every member subscribes to the high-order zones behind its expressway
+entries with a "closer candidate joined" condition.  As a wave of new
+nodes joins, notifications flow down distribution trees embedded in
+the overlay, and only the affected entries are re-selected.
+
+The same wave is replayed without subscriptions; the gap between the
+two final stretches is what timely maintenance is worth, and the
+message counters show what it costs.
+
+Run:  python examples/adaptive_overlay_pubsub.py
+"""
+
+import numpy as np
+
+from repro import NetworkParams, OverlayParams, TopologyAwareOverlay, make_network
+
+
+def grow(adaptive: bool, joins: int = 96) -> dict:
+    network = make_network(
+        NetworkParams(topology="tsk-large", latency="manual", topo_scale=0.5, seed=4)
+    )
+    overlay = TopologyAwareOverlay(
+        network, OverlayParams(num_nodes=128, policy="softstate", seed=6)
+    )
+    overlay.build()
+    if adaptive:
+        for node_id in list(overlay.node_ids):
+            overlay.enable_adaptive(node_id)
+    before = network.stats.snapshot()
+    for _ in range(joins):
+        new_id = overlay.add_node()
+        if adaptive:
+            overlay.enable_adaptive(new_id)
+    delta = network.stats.delta(before)
+    stretch = overlay.measure_stretch(samples=512, rng=np.random.default_rng(42))
+    return {
+        "mode": "pub/sub adaptive" if adaptive else "frozen tables",
+        "final_nodes": len(overlay),
+        "stretch": float(stretch.mean()),
+        "notifications": delta.get("pubsub_notify", 0),
+        "reselect_probes": delta.get("neighbor_probe", 0),
+        "deliveries": len(overlay.pubsub.deliveries),
+    }
+
+
+def main() -> None:
+    print("growing a 128-node overlay by 96 joins, twice...\n")
+    frozen = grow(adaptive=False)
+    adaptive = grow(adaptive=True)
+    for row in (frozen, adaptive):
+        print(f"{row['mode']:18s} stretch={row['stretch']:.2f} "
+              f"notifications={row['notifications']:6d} "
+              f"re-selection probes={row['reselect_probes']:6d}")
+    saved = 100 * (1 - adaptive["stretch"] / frozen["stretch"])
+    print(f"\ndemand-driven re-selection kept stretch {saved:.0f}% lower than "
+          f"letting tables go stale;")
+    print(f"{adaptive['deliveries']} notification trees carried "
+          f"{adaptive['notifications']} messages total "
+          f"({adaptive['notifications'] / max(adaptive['deliveries'], 1):.1f} per event)")
+
+
+if __name__ == "__main__":
+    main()

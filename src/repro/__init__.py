@@ -1,0 +1,105 @@
+"""repro -- reproduction of "Building Topology-Aware Overlays Using
+Global Soft-State" (Xu, Tang, Zhang; ICDCS 2003).
+
+Quick start::
+
+    from repro import NetworkParams, OverlayParams, TopologyAwareOverlay, make_network
+
+    network = make_network(NetworkParams(topology="tsk-large", latency="manual",
+                                         topo_scale=0.3, seed=1))
+    overlay = TopologyAwareOverlay(network, OverlayParams(num_nodes=256,
+                                                          policy="softstate"))
+    overlay.build()
+    print(overlay.measure_stretch(samples=200).mean())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.netsim` -- transit-stub topologies, latency models,
+  the distance oracle and message accounting;
+* :mod:`repro.overlay` -- CAN and eCAN;
+* :mod:`repro.proximity` -- landmarks, Hilbert curves, expanding-ring
+  search, the hybrid landmark+RTT search, GNP coordinates;
+* :mod:`repro.softstate` -- the global soft-state maps, store,
+  publish/subscribe and maintenance policies;
+* :mod:`repro.core` -- the assembled system, churn and QoS;
+* :mod:`repro.experiments` -- one runner per paper figure.
+"""
+
+from repro.core import (
+    ChurnDriver,
+    ChurnEvent,
+    LoadTracker,
+    NetworkParams,
+    OverlayParams,
+    TopologyAwareOverlay,
+    make_network,
+    pareto_capacities,
+    poisson_churn,
+    summarize,
+)
+from repro.netsim import (
+    GeneratedLatencyModel,
+    ManualLatencyModel,
+    Network,
+    NoisyLatencyModel,
+    Topology,
+    TransitStubConfig,
+    generate_transit_stub,
+)
+from repro.overlay import CanOverlay, EcanOverlay, RouteResult, Zone
+from repro.proximity import (
+    HilbertCurve,
+    LandmarkSpace,
+    expanding_ring_search,
+    hybrid_search,
+    select_landmarks,
+)
+from repro.softstate import (
+    Condition,
+    MaintenanceDriver,
+    MaintenancePolicy,
+    NodeRecord,
+    PubSubService,
+    Region,
+    SoftStateNeighborPolicy,
+    SoftStateStore,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CanOverlay",
+    "ChurnDriver",
+    "ChurnEvent",
+    "Condition",
+    "EcanOverlay",
+    "GeneratedLatencyModel",
+    "HilbertCurve",
+    "LandmarkSpace",
+    "LoadTracker",
+    "MaintenanceDriver",
+    "MaintenancePolicy",
+    "ManualLatencyModel",
+    "Network",
+    "NetworkParams",
+    "NodeRecord",
+    "NoisyLatencyModel",
+    "OverlayParams",
+    "PubSubService",
+    "Region",
+    "RouteResult",
+    "SoftStateNeighborPolicy",
+    "SoftStateStore",
+    "Topology",
+    "TopologyAwareOverlay",
+    "TransitStubConfig",
+    "Zone",
+    "expanding_ring_search",
+    "generate_transit_stub",
+    "hybrid_search",
+    "make_network",
+    "pareto_capacities",
+    "poisson_churn",
+    "select_landmarks",
+    "summarize",
+]

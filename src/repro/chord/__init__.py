@@ -1,0 +1,41 @@
+"""Chord port of the global-soft-state technique.
+
+The paper claims its machinery "is generic for overlay networks such
+as Pastry, Chord, and eCAN" and the appendix spells out the Chord
+mapping: "simply use the landmark number as the key to store the
+information of a node on a node whose ID is equal to or greater than
+the landmark number".  This package demonstrates that generality:
+
+* :mod:`repro.chord.ring` -- a Chord ring: consistent-hashing ID
+  space, successor routing, finger tables with *flexible* finger
+  choice (any node of the finger's ID interval qualifies -- Chord's
+  equivalent of proximity-neighbor selection);
+* :mod:`repro.chord.softstate` -- per-prefix-region proximity maps on
+  the ring, placed by scaling the landmark number into the region's
+  ID interval (the 1-dimensional analogue of the eCAN placement -- no
+  space-filling curve needed on a ring), plus the landmark+RTT finger
+  selection policy.
+
+The ``bench_ext_chord_generality`` benchmark shows the same
+random < soft-state < oracle stretch ordering as on eCAN.
+"""
+
+from repro.chord.ring import ChordRing, FingerPolicy, SuccessorFingerPolicy
+from repro.chord.softstate import (
+    ChordClosestFingerPolicy,
+    ChordRegion,
+    ChordSoftState,
+    ChordSoftStateFingerPolicy,
+    RandomFingerPolicy,
+)
+
+__all__ = [
+    "ChordClosestFingerPolicy",
+    "ChordRegion",
+    "ChordRing",
+    "ChordSoftState",
+    "ChordSoftStateFingerPolicy",
+    "FingerPolicy",
+    "RandomFingerPolicy",
+    "SuccessorFingerPolicy",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: regenerate figures without writing code.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro list                  # available experiments
+    python -m repro run fig02             # one figure, table to stdout
+    python -m repro run all               # everything
+    python -m repro report                # rewrite EXPERIMENTS.md
+    python -m repro quickstart            # the README demo
+
+``--scale quick|paper`` overrides the ``REPRO_SCALE`` environment
+variable for the invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _figure_registry() -> dict:
+    """Name -> zero-arg callable returning printable text."""
+    from repro.experiments import format_table
+    from repro.experiments import (
+        churn_timeline,
+        failure_resilience,
+        fig02_hops,
+        fig03_06_nn,
+        fig10_13_stretch_rtts,
+        fig14_15_stretch_nodes,
+        fig16_condense,
+        intro_tacan_imbalance,
+        join_cost,
+        pubsub_ablation,
+        qos_load,
+    )
+
+    def table(rows):
+        return format_table(rows)
+
+    return {
+        "fig02": lambda: table(fig02_hops.run()),
+        "fig03": lambda: table(
+            fig03_06_nn.run("tsk-large", methods=("lmk+rtt", "ers"))
+        ),
+        "fig04": lambda: table(fig03_06_nn.run("tsk-large", methods=("ers",))),
+        "fig05": lambda: table(fig03_06_nn.run("tsk-small", methods=("lmk+rtt",))),
+        "fig06": lambda: table(fig03_06_nn.run("tsk-small", methods=("ers",))),
+        "fig10": lambda: table(fig10_13_stretch_rtts.run("tsk-large", "generated")),
+        "fig11": lambda: table(fig10_13_stretch_rtts.run("tsk-large", "manual")),
+        "fig12": lambda: table(fig10_13_stretch_rtts.run("tsk-small", "generated")),
+        "fig13": lambda: table(fig10_13_stretch_rtts.run("tsk-small", "manual")),
+        "fig14": lambda: table(fig14_15_stretch_nodes.run("generated")),
+        "fig15": lambda: table(fig14_15_stretch_nodes.run("manual")),
+        "fig16": lambda: table(fig16_condense.run()),
+        "tacan": lambda: table(
+            [
+                {"layout": "topologically-aware CAN", **intro_tacan_imbalance.run()["tacan"]},
+                {"layout": "uniform CAN", **intro_tacan_imbalance.run()["uniform"]},
+            ]
+        ),
+        "gaps": lambda: table([fig10_13_stretch_rtts.gap_breakdown()]),
+        "pubsub": lambda: table(pubsub_ablation.run()),
+        "qos": lambda: table(qos_load.run()),
+        "join-cost": lambda: table(join_cost.run()),
+        "churn": lambda: table(churn_timeline.run()),
+        "resilience": lambda: table(failure_resilience.run()),
+    }
+
+
+def cmd_list(_args) -> int:
+    print("experiments:")
+    for name in _figure_registry():
+        print(f"  {name}")
+    print("\nrun one with: python -m repro run <name> [--scale quick|paper]")
+    return 0
+
+
+def cmd_run(args) -> int:
+    registry = _figure_registry()
+    names = list(registry) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"== {name} ==")
+        print(registry[name]())
+        print()
+    return 0
+
+
+def cmd_report(_args) -> int:
+    from repro.experiments import report
+
+    report.main()
+    return 0
+
+
+def cmd_quickstart(_args) -> int:
+    from repro import NetworkParams, OverlayParams, TopologyAwareOverlay, make_network
+
+    network = make_network(
+        NetworkParams(topology="tsk-large", latency="manual", topo_scale=0.5, seed=1)
+    )
+    overlay = TopologyAwareOverlay(
+        network, OverlayParams(num_nodes=192, policy="softstate", seed=7)
+    )
+    overlay.build()
+    stretch = overlay.measure_stretch()
+    print(f"built: {overlay.describe()}")
+    print(f"mean routing stretch: {stretch.mean():.2f} over {len(stretch)} routes")
+    print(f"messages spent: {network.stats.total()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Building Topology-Aware Overlays Using "
+        "Global Soft-State' (ICDCS 2003)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "paper"],
+        help="experiment scale preset (overrides REPRO_SCALE)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        func=cmd_list
+    )
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.set_defaults(func=cmd_run)
+    sub.add_parser("report", help="rewrite EXPERIMENTS.md from benchmarks/out")\
+        .set_defaults(func=cmd_report)
+    sub.add_parser("quickstart", help="build one overlay and print its stretch")\
+        .set_defaults(func=cmd_quickstart)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The topology-aware overlay: the paper's system, assembled.
+
+:class:`repro.core.builder.TopologyAwareOverlay` wires together the
+physical network, the landmark machinery, the eCAN and the global
+soft-state into the system the paper evaluates; `core.churn` drives
+membership dynamics over it, and `core.qos` adds the §6 load-aware
+extension.
+"""
+
+from repro.core.builder import TopologyAwareOverlay
+from repro.core.churn import ChurnDriver, ChurnEvent, poisson_churn
+from repro.core.config import NetworkParams, OverlayParams, make_network
+from repro.core.metrics import summarize
+from repro.core.qos import LoadTracker, pareto_capacities
+from repro.core.stats import aggregate_over_seeds, bootstrap_ci, paired_improvement
+
+__all__ = [
+    "ChurnDriver",
+    "ChurnEvent",
+    "LoadTracker",
+    "NetworkParams",
+    "OverlayParams",
+    "TopologyAwareOverlay",
+    "aggregate_over_seeds",
+    "bootstrap_ci",
+    "make_network",
+    "paired_improvement",
+    "pareto_capacities",
+    "poisson_churn",
+    "summarize",
+]

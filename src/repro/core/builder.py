@@ -1,0 +1,311 @@
+"""Assembly of the full topology-aware overlay.
+
+:class:`TopologyAwareOverlay` is the library's main entry point.  It
+owns one :class:`~repro.netsim.network.Network`, a landmark space, an
+eCAN, the global soft-state store, the publish/subscribe service and
+a maintenance driver, and exposes the paper's lifecycle:
+
+* ``build(n)`` -- grow the overlay to ``n`` nodes, each join doing:
+  landmark measurement, CAN join, soft-state publication, and
+  policy-driven high-order neighbor selection;
+* ``route_between`` / ``measure_stretch`` -- the evaluation workload:
+  route between random member pairs and compare accumulated physical
+  latency against the direct shortest path;
+* ``remove_node`` / ``add_node`` -- churn, graceful or not;
+* ``enable_adaptive(node)`` -- the pub/sub loop: subscribe to the
+  regions behind the node's expressway entries and re-select when a
+  closer candidate appears.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.config import OverlayParams
+from repro.overlay.ecan import (
+    ClosestNeighborPolicy,
+    EcanOverlay,
+    RandomNeighborPolicy,
+)
+from repro.softstate.maintenance import MaintenanceDriver, MaintenancePolicy
+from repro.softstate.maps import Region
+from repro.softstate.neighbor_selection import SoftStateNeighborPolicy
+from repro.softstate.pubsub import Condition, PubSubService
+from repro.softstate.store import SoftStateStore
+from repro.proximity.landmarks import LandmarkSpace, select_landmarks
+
+
+class TopologyAwareOverlay:
+    """The paper's system: eCAN + landmarks + global soft-state."""
+
+    def __init__(
+        self,
+        network,
+        params: OverlayParams = None,
+        maintenance_policy: MaintenancePolicy = MaintenancePolicy.PROACTIVE,
+    ):
+        self.network = network
+        self.params = params if params is not None else OverlayParams()
+        # Independent streams so that changing the landmark count or the
+        # policy does not reshuffle overlay membership or join points --
+        # experiment cells with the same seed stay comparable.
+        seeds = np.random.SeedSequence(self.params.seed).spawn(4)
+        self.rng = np.random.default_rng(seeds[0])
+        self._host_rng = np.random.default_rng(seeds[1])
+        landmark_rng = np.random.default_rng(seeds[2])
+        self._policy_rng = np.random.default_rng(seeds[3])
+        self.stats = network.stats
+
+        landmarks = select_landmarks(network, self.params.landmarks, landmark_rng)
+        self.space = LandmarkSpace(
+            landmarks,
+            bits_per_dim=self.params.bits_per_dim,
+            index_dims=min(self.params.index_dims, landmarks.count),
+        )
+        self.ecan = EcanOverlay(
+            dims=self.params.dims, rng=self.rng, stats=self.stats
+        )
+        self.store = SoftStateStore(
+            self.ecan,
+            network,
+            self.space,
+            condense_rate=self.params.condense_rate,
+            record_ttl=self.params.record_ttl,
+            max_results=self.params.max_results,
+            widen_ttl=self.params.widen_ttl,
+        )
+        self.pubsub = PubSubService(self.store, self.ecan, network)
+        self.maintenance = MaintenanceDriver(
+            self.store, self.ecan, network, policy=maintenance_policy
+        )
+        self.ecan.policy = self._make_policy(self.params.policy)
+        self._ids = itertools.count()
+        self._refresh_timer = None
+        # Landmarks "can be part of the overlay itself or standalone"
+        # (§5.1); letting them host members keeps overlay membership a
+        # pure function of the host stream, independent of landmark count.
+        self._used_hosts: set = set()
+        self._adaptive: set = set()
+
+    def _make_policy(self, name: str):
+        if name == "random":
+            return RandomNeighborPolicy(self._policy_rng)
+        if name == "optimal":
+            return ClosestNeighborPolicy(self.network)
+        if name == "softstate":
+            return SoftStateNeighborPolicy(
+                self.store,
+                self.network,
+                rtt_budget=self.params.rtt_budget,
+                load_weight=self.params.load_weight,
+                maintenance=self.maintenance,
+            )
+        raise ValueError(f"unknown policy {name!r}")
+
+    # -- membership -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ecan)
+
+    @property
+    def node_ids(self) -> list:
+        return list(self.ecan.can.nodes)
+
+    def _pick_host(self) -> int:
+        pool = self.network.topology.stub_nodes()
+        for _ in range(64):
+            host = int(pool[int(self._host_rng.integers(0, len(pool)))])
+            if host not in self._used_hosts:
+                return host
+        free = [int(h) for h in pool if int(h) not in self._used_hosts]
+        if not free:
+            raise RuntimeError("no free stub hosts left for overlay nodes")
+        return free[int(self._host_rng.integers(0, len(free)))]
+
+    def add_node(self, host: int = None, capacity: float = 1.0) -> int:
+        """Join one node: measure landmarks, join CAN, publish, select."""
+        if host is None:
+            host = self._pick_host()
+        self._used_hosts.add(host)
+        node_id = next(self._ids)
+
+        vector = self.space.measure(self.network, host)
+        self.ecan.can.join(node_id, host)
+        self.store.register_identity(node_id, host, vector, capacity=capacity)
+        self.store.publish(node_id)
+        self.ecan.build_table(node_id)
+        return node_id
+
+    def build(self, num_nodes: int = None) -> list:
+        """Grow the overlay to ``num_nodes`` members; returns their ids."""
+        if num_nodes is None:
+            num_nodes = self.params.num_nodes
+        return [self.add_node() for _ in range(num_nodes - len(self))]
+
+    def remove_node(self, node_id: int, graceful: bool = True) -> None:
+        """Depart (gracefully announces; otherwise records go stale)."""
+        node = self.ecan.can.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"node {node_id} is not a member")
+        self._used_hosts.discard(node.host)
+        self._adaptive.discard(node_id)
+        self.pubsub.unsubscribe_all(node_id)
+        self.maintenance.on_departure(node_id, graceful=graceful)
+        self.ecan.leave(node_id)
+
+    def random_member(self) -> int:
+        return self.ecan.can.random_node()
+
+    # -- routing & stretch -------------------------------------------------------
+
+    def route_between(self, src_id: int, dst_id: int, category: str = "lookup_route"):
+        """Route src -> dst; returns (RouteResult, stretch or None).
+
+        Stretch is accumulated path latency over the direct
+        shortest-path latency; ``None`` when the pair is degenerate
+        (zero direct latency) or routing failed.
+        """
+        dst = self.ecan.can.nodes[dst_id]
+        result = self.ecan.route(src_id, dst.zone.center(), category=category)
+        if not result.success:
+            return result, None
+        src_host = self.ecan.can.nodes[src_id].host
+        direct = self.network.latency(src_host, dst.host)
+        if direct <= 1e-9:
+            return result, None
+        path_latency = result.latency(self.ecan.can, self.network)
+        return result, path_latency / direct
+
+    def measure_stretch(self, samples: int = None, rng=None) -> np.ndarray:
+        """Stretch over random member pairs (paper default: 2N routes)."""
+        if samples is None:
+            samples = 2 * len(self)
+        if rng is None:
+            rng = self.rng
+        ids = np.array(self.node_ids)
+        stretches = []
+        attempts = 0
+        while len(stretches) < samples and attempts < 4 * samples:
+            attempts += 1
+            src, dst = rng.choice(ids, size=2, replace=False)
+            _, stretch = self.route_between(int(src), int(dst))
+            if stretch is not None:
+                stretches.append(stretch)
+        return np.asarray(stretches)
+
+    def measure_hops(self, samples: int, rng=None) -> np.ndarray:
+        """Logical hop counts over random member pairs (Figure 2)."""
+        if rng is None:
+            rng = self.rng
+        ids = np.array(self.node_ids)
+        hops = []
+        for _ in range(samples):
+            src, dst = rng.choice(ids, size=2, replace=False)
+            dst_node = self.ecan.can.nodes[int(dst)]
+            result = self.ecan.route(int(src), dst_node.zone.center())
+            if result.success:
+                hops.append(result.hops)
+        return np.asarray(hops)
+
+    # -- soft-state refresh ----------------------------------------------------------
+
+    def start_refresh(self, interval: float = None) -> None:
+        """Arm the periodic soft-state refresh loop.
+
+        Soft-state only stays alive while its owner keeps republishing
+        (records carry a ``record_ttl`` lease).  Each tick, every live
+        member refreshes its record (charged as publish traffic) and
+        lapsed leases are purged.  Defaults to half the lease so a
+        healthy node never expires.
+        """
+        if self._refresh_timer is not None:
+            return
+        if interval is None:
+            if not np.isfinite(self.params.record_ttl):
+                raise ValueError(
+                    "refresh needs an interval when record_ttl is infinite"
+                )
+            interval = self.params.record_ttl / 2.0
+
+        def tick():
+            for node_id in list(self.ecan.can.nodes):
+                if node_id in self.store.registry:
+                    self.store.publish(node_id)
+            self.store.expire_stale()
+
+        self._refresh_timer = self.network.clock.schedule_every(interval, tick)
+
+    def stop_refresh(self) -> None:
+        if self._refresh_timer is not None:
+            self._refresh_timer.cancel()
+            self._refresh_timer = None
+
+    # -- adaptive re-selection via pub/sub --------------------------------------------
+
+    def enable_adaptive(self, node_id: int) -> int:
+        """Subscribe ``node_id`` to the regions behind its table entries.
+
+        Whenever a candidate joins one of those regions closer (in
+        landmark space) than the current representative, the entry is
+        re-selected through the policy.  Returns the number of
+        subscriptions installed.
+        """
+        if node_id in self._adaptive:
+            return 0
+        own = self.store.registry.get(node_id)
+        if own is None:
+            raise KeyError(f"node {node_id} has no identity record")
+        own_vector = np.asarray(own.landmark_vector)
+        installed = 0
+        zone = self.ecan.can.nodes[node_id].zone
+        from repro.overlay.zone import sibling_cells
+
+        for level in range(1, zone.max_level + 1):
+            for cell in sibling_cells(zone.cell(level)):
+                # table_entry fills the slot lazily if this node joined
+                # before its zone reached this depth
+                entry, _ = self.ecan.table_entry(node_id, level, cell)
+                current = None if entry is None else self.store.registry.get(entry)
+                if current is None:
+                    threshold = float("inf")
+                else:
+                    threshold = float(
+                        np.linalg.norm(
+                            np.asarray(current.landmark_vector) - own_vector
+                        )
+                    )
+                condition = Condition.node_joined(
+                    vector=own.landmark_vector, within_distance=threshold
+                )
+                self.pubsub.subscribe(
+                    node_id,
+                    Region(level, cell),
+                    condition,
+                    callback=self._on_closer_candidate,
+                )
+                installed += 1
+        self._adaptive.add(node_id)
+        return installed
+
+    def _on_closer_candidate(self, subscription, event) -> None:
+        node_id = subscription.subscriber
+        if node_id not in self.ecan.can.nodes:
+            return
+        self.ecan.refresh_entry(
+            node_id, subscription.region.level, subscription.region.cell
+        )
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """One-line summary used by examples and experiment logs."""
+        return {
+            "nodes": len(self),
+            "policy": self.ecan.policy.name,
+            "landmarks": self.space.landmarks.count,
+            "condense_rate": self.store.condense_rate,
+            "map_entries": self.store.total_entries(),
+            "subscriptions": self.pubsub.subscription_count(),
+        }

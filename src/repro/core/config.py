@@ -1,0 +1,78 @@
+"""Parameter dataclasses mirroring the paper's Table 2.
+
+The OCR of the paper stripped the digits out of Table 2; the defaults
+below are the reconstruction documented in DESIGN.md: 4096 overlay
+nodes, 15 landmarks (swept 5-30), 10 RTT probes (swept 1-40), and a
+1/16 map condense rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.netsim import Network, TransitStubConfig, generate_transit_stub
+from repro.netsim.latency import latency_model_from_name
+
+#: neighbor-selection policies understood by the builder
+POLICIES = ("random", "softstate", "optimal")
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Which physical network to simulate."""
+
+    topology: str = "tsk-large"  # "tsk-large" | "tsk-small"
+    latency: str = "manual"  # "generated" | "manual" | "noisy-*"
+    topo_scale: float = 1.0
+    seed: int = 0
+
+    def scaled(self, topo_scale: float) -> "NetworkParams":
+        return replace(self, topo_scale=topo_scale)
+
+
+@dataclass(frozen=True)
+class OverlayParams:
+    """Overlay + soft-state knobs (Table 2)."""
+
+    dims: int = 2
+    num_nodes: int = 4096
+    landmarks: int = 15
+    bits_per_dim: int = 5
+    index_dims: int = 4
+    rtt_budget: int = 10
+    condense_rate: float = 1.0 / 16.0
+    record_ttl: float = math.inf
+    max_results: int = 16
+    widen_ttl: int = 2
+    policy: str = "softstate"
+    load_weight: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        if self.rtt_budget < 1:
+            raise ValueError("rtt_budget must be >= 1")
+
+    def with_policy(self, policy: str, **changes) -> "OverlayParams":
+        return replace(self, policy=policy, **changes)
+
+
+def topology_config(name: str, scale: float = 1.0) -> TransitStubConfig:
+    """Named topology presets from the paper's evaluation."""
+    if name == "tsk-large":
+        return TransitStubConfig.tsk_large(scale)
+    if name == "tsk-small":
+        return TransitStubConfig.tsk_small(scale)
+    raise ValueError(f"unknown topology {name!r} (want 'tsk-large' or 'tsk-small')")
+
+
+def make_network(params: NetworkParams) -> Network:
+    """Build the simulated physical network described by ``params``."""
+    config = topology_config(params.topology, params.topo_scale)
+    topology = generate_transit_stub(config, seed=params.seed, name=params.topology)
+    model = latency_model_from_name(params.latency, seed=params.seed)
+    return Network(topology, model)

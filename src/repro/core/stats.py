@@ -1,0 +1,102 @@
+"""Statistical helpers for experiment aggregation.
+
+Quick-scale experiment cells are noisy (hundreds of routes on a
+~1k-node topology); these utilities let runners and benches report
+seed-aggregated means with bootstrap confidence intervals instead of
+single draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bootstrap_ci(
+    values,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: np.random.Generator = None,
+    statistic=np.mean,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for ``statistic``.
+
+    Returns ``(low, high)``; degenerates to the point value for
+    samples of size one.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if values.size == 1:
+        point = float(statistic(values))
+        return point, point
+    if rng is None:
+        rng = np.random.default_rng(0)
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    stats = statistic(values[indices], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def aggregate_over_seeds(run_fn, seeds, key_fields, value_fields) -> list:
+    """Run ``run_fn(seed)`` for each seed and merge its row lists.
+
+    Rows are grouped by ``key_fields``; each field in ``value_fields``
+    becomes three output columns: mean, ``*_lo`` and ``*_hi``
+    (bootstrap 95% CI across seeds).  Rows missing a value field (or
+    holding None) are skipped for that field.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    grouped: dict = {}
+    order: list = []
+    for seed in seeds:
+        for row in run_fn(seed):
+            key = tuple(row[k] for k in key_fields)
+            if key not in grouped:
+                grouped[key] = {field: [] for field in value_fields}
+                order.append(key)
+            for field in value_fields:
+                value = row.get(field)
+                if value is not None and np.isfinite(value):
+                    grouped[key][field].append(float(value))
+    out = []
+    for key in order:
+        row = dict(zip(key_fields, key))
+        row["seeds"] = len(seeds)
+        for field in value_fields:
+            values = grouped[key][field]
+            if not values:
+                row[field] = None
+                continue
+            row[field] = float(np.mean(values))
+            low, high = bootstrap_ci(values)
+            row[f"{field}_lo"] = low
+            row[f"{field}_hi"] = high
+        out.append(row)
+    return out
+
+
+def paired_improvement(baseline, treated) -> dict:
+    """Summary of a paired comparison (same seeds, two treatments)."""
+    baseline = np.asarray(list(baseline), dtype=np.float64)
+    treated = np.asarray(list(treated), dtype=np.float64)
+    if baseline.shape != treated.shape or baseline.size == 0:
+        raise ValueError("need equal-length, non-empty paired samples")
+    deltas = baseline - treated
+    wins = int((deltas > 0).sum())
+    return {
+        "n": int(baseline.size),
+        "mean_baseline": float(baseline.mean()),
+        "mean_treated": float(treated.mean()),
+        "mean_saving": float(deltas.mean() / baseline.mean())
+        if baseline.mean() != 0
+        else 0.0,
+        "wins": wins,
+        "win_rate": wins / baseline.size,
+    }

@@ -1,0 +1,18 @@
+"""Experiment runners: one module per paper figure/claim.
+
+Every runner returns plain row dictionaries so the benches, the
+EXPERIMENTS.md generator and the tests can all consume them.  Scale
+comes from :func:`repro.experiments.common.current_scale` -- set
+``REPRO_SCALE=paper`` for full-size runs (the default ``quick``
+preset keeps each bench in seconds).
+"""
+
+from repro.experiments.common import (
+    SCALES,
+    Scale,
+    current_scale,
+    format_table,
+    get_network,
+)
+
+__all__ = ["SCALES", "Scale", "current_scale", "format_table", "get_network"]

@@ -1,0 +1,81 @@
+"""Failure resilience: routing through a partially crashed overlay.
+
+The paper picks a 2-dimensional eCAN "to give a reasonable
+fault-tolerance capability".  This runner quantifies the resilience
+that dimensionality (plus lazy table repair) buys: a fraction of
+nodes crash simultaneously -- no graceful departure, no CAN takeover,
+just dead expressway entries and dead soft-state records -- and the
+survivors keep routing, repairing stale entries on the fly.
+
+Crashes are modelled by removing the nodes through the normal CAN
+takeover (zones must stay covered for keys to remain owned -- the CAN
+invariant) while *not* withdrawing their soft-state or notifying
+anyone: every routing table and map still references them, so every
+path through a dead reference must detect and repair.
+
+Reported per crash fraction: routing success rate, mean stretch of
+the survivors, and repair traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import Scale, current_scale
+from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+
+def run(
+    topology: str = "tsk-large",
+    latency: str = "manual",
+    scale: Scale = None,
+    seed: int = 0,
+    crash_fractions: tuple = (0.0, 0.1, 0.25, 0.5),
+    probes: int = 128,
+) -> list:
+    """Rows: {"crash_fraction", "success_rate", "mean_stretch",
+    "table_repairs", "stale_records"}."""
+    if scale is None:
+        scale = current_scale()
+    rows = []
+    for fraction in crash_fractions:
+        overlay = build_overlay(
+            topology,
+            latency,
+            scale.overlay_nodes,
+            policy="softstate",
+            topo_scale=scale.topo_scale,
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed + 91)
+        victims = rng.choice(
+            overlay.node_ids,
+            size=int(fraction * len(overlay)),
+            replace=False,
+        )
+        for victim in victims:
+            # crash: zones hand over (CAN takeover), but soft-state and
+            # other nodes' tables are left stale
+            overlay.ecan.leave(int(victim))
+
+        stats = overlay.network.stats
+        repairs_before = stats.get("table_repair")
+        survivors = np.array(overlay.node_ids)
+        successes, stretches = 0, []
+        for _ in range(probes):
+            src, dst = rng.choice(survivors, size=2, replace=False)
+            result, stretch = overlay.route_between(int(src), int(dst))
+            if result.success:
+                successes += 1
+                if stretch is not None:
+                    stretches.append(stretch)
+        rows.append(
+            {
+                "crash_fraction": fraction,
+                "success_rate": successes / probes,
+                "mean_stretch": float(np.mean(stretches)) if stretches else None,
+                "table_repairs": stats.get("table_repair") - repairs_before,
+                "stale_records": overlay.maintenance.stale_entries(),
+            }
+        )
+    return rows

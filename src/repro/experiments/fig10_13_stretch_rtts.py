@@ -1,0 +1,154 @@
+"""Figures 10-13: routing stretch vs. RTT budget and landmark count.
+
+Four panels -- {tsk-large, tsk-small} x {generated, manual}
+latencies -- each plotting mean routing stretch of a soft-state
+overlay as the per-selection RTT budget grows, one series per
+landmark count, plus the *optimal* line (oracle-closest neighbor,
+i.e. an infinite RTT budget) and the random baseline.
+
+The paper's observations this runner must reproduce:
+
+* stretch falls with the RTT budget and approaches optimal;
+* more landmarks help most with manually-set latencies and large
+  transit backbones;
+* tsk-small sits closer to optimal (suboptimal routes are cheap when
+  the backbone is small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import TopologyAwareOverlay
+from repro.core.config import OverlayParams
+from repro.experiments.common import Scale, current_scale, get_network
+
+
+def build_overlay(
+    topology: str,
+    latency: str,
+    num_nodes: int,
+    policy: str = "softstate",
+    landmarks: int = 15,
+    rtt_budget: int = 10,
+    topo_scale: float = None,
+    seed: int = 0,
+    **overrides,
+) -> TopologyAwareOverlay:
+    """One fully built overlay for the given experiment cell."""
+    if topo_scale is None:
+        topo_scale = current_scale().topo_scale
+    network = get_network(topology, latency, topo_scale, seed)
+    params = OverlayParams(
+        num_nodes=num_nodes,
+        policy=policy,
+        landmarks=landmarks,
+        rtt_budget=rtt_budget,
+        seed=seed + 101,
+        **overrides,
+    )
+    overlay = TopologyAwareOverlay(network, params)
+    overlay.build()
+    return overlay
+
+
+def _mean_stretch(overlay, samples: int, seed: int) -> float:
+    rng = np.random.default_rng(seed + 7)
+    stretch = overlay.measure_stretch(samples=samples, rng=rng)
+    return float(stretch.mean()) if stretch.size else float("nan")
+
+
+def run(
+    topology: str,
+    latency: str,
+    scale: Scale = None,
+    seed: int = 0,
+    num_nodes: int = None,
+) -> list:
+    """Rows: {"landmarks", "rtt_probes", "mean_stretch"} plus the
+    ``optimal`` and ``random`` reference rows (landmarks="optimal" /
+    "random")."""
+    if scale is None:
+        scale = current_scale()
+    if num_nodes is None:
+        num_nodes = scale.overlay_nodes
+    samples = min(scale.route_samples, 2 * num_nodes)
+    rows = []
+    for landmarks in scale.landmark_sweep:
+        for budget in scale.rtt_sweep:
+            overlay = build_overlay(
+                topology,
+                latency,
+                num_nodes,
+                policy="softstate",
+                landmarks=landmarks,
+                rtt_budget=budget,
+                topo_scale=scale.topo_scale,
+                seed=seed,
+            )
+            rows.append(
+                {
+                    "landmarks": landmarks,
+                    "rtt_probes": budget,
+                    "mean_stretch": _mean_stretch(overlay, samples, seed),
+                }
+            )
+    for reference in ("optimal", "random"):
+        overlay = build_overlay(
+            topology,
+            latency,
+            num_nodes,
+            policy=reference,
+            topo_scale=scale.topo_scale,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "landmarks": reference,
+                "rtt_probes": 0,
+                "mean_stretch": _mean_stretch(overlay, samples, seed),
+            }
+        )
+    return rows
+
+
+def gap_breakdown(
+    topology: str = "tsk-large",
+    latency: str = "manual",
+    scale: Scale = None,
+    seed: int = 0,
+) -> dict:
+    """§5.4: split total stretch into the two performance gaps.
+
+    * gap 1 (structure): optimal-policy stretch minus 1 -- the price
+      of the overlay's prefix constraint even with perfect proximity;
+    * gap 2 (information): soft-state stretch minus optimal -- the
+      price of imperfect proximity generation;
+    * headroom: random-policy stretch, for reference.
+    """
+    if scale is None:
+        scale = current_scale()
+    num_nodes = scale.overlay_nodes
+    samples = min(scale.route_samples, 2 * num_nodes)
+    values = {}
+    for policy in ("optimal", "softstate", "random"):
+        overlay = build_overlay(
+            topology,
+            latency,
+            num_nodes,
+            policy=policy,
+            topo_scale=scale.topo_scale,
+            seed=seed,
+        )
+        values[policy] = _mean_stretch(overlay, samples, seed)
+    return {
+        "topology": topology,
+        "latency": latency,
+        "shortest_path": 1.0,
+        "optimal_stretch": values["optimal"],
+        "softstate_stretch": values["softstate"],
+        "random_stretch": values["random"],
+        "structural_gap": values["optimal"] - 1.0,
+        "information_gap": values["softstate"] - values["optimal"],
+        "softstate_vs_random_saving": 1.0 - values["softstate"] / values["random"],
+    }

@@ -1,0 +1,56 @@
+"""Figures 14-15: routing stretch vs. overlay size.
+
+Landmarks and RTT budget fixed at their defaults (15 and 10); the
+overlay size sweeps while the soft-state policy is compared against
+random neighbor selection, on both topologies, for one latency model
+per run.  The paper's observations:
+
+* the global state improves stretch by a large constant factor;
+* the improvement is larger on tsk-small (large stubs, cheap
+  suboptimal routes keep even the random baseline lower, but the
+  *relative* win of soft-state grows);
+* stretch is roughly flat in N for the soft-state overlay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import Scale, current_scale
+from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+
+def run(
+    latency: str,
+    scale: Scale = None,
+    seed: int = 0,
+    topologies: tuple = ("tsk-large", "tsk-small"),
+    policies: tuple = ("softstate", "random"),
+) -> list:
+    """Rows: {"topology", "policy", "N", "mean_stretch"}."""
+    if scale is None:
+        scale = current_scale()
+    rows = []
+    for topology in topologies:
+        for num_nodes in scale.node_sweep:
+            for policy in policies:
+                overlay = build_overlay(
+                    topology,
+                    latency,
+                    num_nodes,
+                    policy=policy,
+                    topo_scale=scale.topo_scale,
+                    seed=seed,
+                )
+                samples = min(scale.route_samples, 2 * num_nodes)
+                rng = np.random.default_rng(seed + 13)
+                stretch = overlay.measure_stretch(samples=samples, rng=rng)
+                rows.append(
+                    {
+                        "topology": topology,
+                        "policy": policy,
+                        "N": num_nodes,
+                        "mean_stretch": float(stretch.mean()),
+                    }
+                )
+    return rows

@@ -1,0 +1,57 @@
+"""Figure 16: the map condense-rate trade-off.
+
+The condense rate controls what fraction of a region hosts its map.
+Squeezing the map onto fewer nodes piles more entries per node but
+barely moves stretch -- the paper finds ~10 entries per node is
+already enough, because landmark clustering concentrates records
+anyway.  This runner sweeps the rate and reports both the entries-
+per-node distribution (the dashed line) and routing stretch (the
+solid line).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import Scale, current_scale
+from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+
+def run(
+    topology: str = "tsk-large",
+    latency: str = "manual",
+    scale: Scale = None,
+    seed: int = 0,
+) -> list:
+    """Rows: {"condense_rate", "entries_per_node_mean",
+    "entries_per_node_max", "hosting_nodes", "mean_stretch"}."""
+    if scale is None:
+        scale = current_scale()
+    num_nodes = scale.overlay_nodes
+    samples = min(scale.route_samples, 2 * num_nodes)
+    rows = []
+    for rate in scale.condense_sweep:
+        overlay = build_overlay(
+            topology,
+            latency,
+            num_nodes,
+            policy="softstate",
+            topo_scale=scale.topo_scale,
+            seed=seed,
+            condense_rate=rate,
+        )
+        counts = overlay.store.entries_per_node()
+        occupancy = np.array(list(counts.values()), dtype=np.float64)
+        rng = np.random.default_rng(seed + 13)
+        stretch = overlay.measure_stretch(samples=samples, rng=rng)
+        rows.append(
+            {
+                "condense_rate": rate,
+                "entries_per_node_mean": float(occupancy.mean()) if occupancy.size else 0.0,
+                "entries_per_node_max": int(occupancy.max()) if occupancy.size else 0,
+                "hosting_nodes": int(occupancy.size),
+                "total_entries": overlay.store.total_entries(),
+                "mean_stretch": float(stretch.mean()),
+            }
+        )
+    return rows

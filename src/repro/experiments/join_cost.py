@@ -1,0 +1,62 @@
+"""Join-cost scaling: the price of maintaining global soft-state.
+
+The paper's §5.1 argues the overhead is acceptable: "each node will
+appear in a maximum of log(N) such maps...  This, we believe, is not
+a big issue."  This runner quantifies the claim: the message bill of
+one join -- landmark probes, CAN join routing, soft-state publication
+(log N maps x log N hops each), map lookups and RTT confirmation for
+table construction -- as a function of overlay size, broken down by
+category.
+
+Expected shape: per-join cost grows polylogarithmically (dominated by
+publish/lookup routes of O(log^2 N) total hops), not linearly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scale, current_scale
+from repro.experiments.fig10_13_stretch_rtts import build_overlay
+
+#: categories that make up a join, in reporting order
+JOIN_CATEGORIES = (
+    "landmark_probe",
+    "join_route",
+    "join_update",
+    "softstate_publish",
+    "softstate_lookup",
+    "neighbor_probe",
+    "pubsub_subscribe",
+)
+
+
+def run(
+    topology: str = "tsk-large",
+    latency: str = "manual",
+    scale: Scale = None,
+    seed: int = 0,
+    probe_joins: int = 16,
+) -> list:
+    """Rows: per-join message counts by category at each overlay size."""
+    if scale is None:
+        scale = current_scale()
+    rows = []
+    for num_nodes in scale.node_sweep:
+        overlay = build_overlay(
+            topology,
+            latency,
+            num_nodes,
+            policy="softstate",
+            topo_scale=scale.topo_scale,
+            seed=seed,
+        )
+        stats = overlay.network.stats
+        before = stats.snapshot()
+        for _ in range(probe_joins):
+            overlay.add_node()
+        delta = stats.delta(before)
+        row = {"N": num_nodes}
+        for category in JOIN_CATEGORIES:
+            row[category] = delta.get(category, 0) / probe_joins
+        row["total_per_join"] = sum(delta.values()) / probe_joins
+        rows.append(row)
+    return rows

@@ -1,0 +1,97 @@
+"""Cached shortest-path distance oracle.
+
+Every "RTT measurement" in the simulation bottoms out here: the
+latency between two physical nodes is the weighted shortest-path
+distance over the topology.  The oracle keeps an LRU cache of
+single-source distance rows and supports bulk multi-source queries
+(used to precompute the overlay-host distance matrix) through scipy's
+C Dijkstra implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components, dijkstra
+
+from repro.netsim.latency import LatencyModel
+from repro.netsim.transit_stub import Topology
+
+
+class DistanceOracle:
+    """Shortest-path distances over a weighted undirected graph.
+
+    Parameters
+    ----------
+    graph:
+        ``(N, N)`` scipy CSR adjacency matrix with symmetric weights.
+    max_cached_rows:
+        Maximum number of single-source rows retained (LRU).
+    """
+
+    def __init__(self, graph: csr_matrix, max_cached_rows: int = 4096):
+        self.graph = graph
+        self.num_nodes = graph.shape[0]
+        self.max_cached_rows = max_cached_rows
+        self._rows: OrderedDict = OrderedDict()
+
+    @classmethod
+    def from_topology(
+        cls, topology: Topology, latency_model: LatencyModel, **kwargs
+    ) -> "DistanceOracle":
+        """Build an oracle from a topology and a latency model."""
+        w = latency_model.weights(topology)
+        u, v = topology.edges[:, 0], topology.edges[:, 1]
+        n = topology.num_nodes
+        graph = csr_matrix(
+            (np.concatenate([w, w]), (np.concatenate([u, v]), np.concatenate([v, u]))),
+            shape=(n, n),
+        )
+        return cls(graph, **kwargs)
+
+    def is_connected(self) -> bool:
+        """True if the underlying graph has a single component."""
+        n_components, _ = connected_components(self.graph, directed=False)
+        return n_components == 1
+
+    def row(self, source: int) -> np.ndarray:
+        """Distances from ``source`` to every node (float32, read-only)."""
+        source = int(source)
+        cached = self._rows.get(source)
+        if cached is not None:
+            self._rows.move_to_end(source)
+            return cached
+        dist = dijkstra(self.graph, directed=False, indices=source)
+        dist = dist.astype(np.float32)
+        dist.flags.writeable = False
+        self._rows[source] = dist
+        if len(self._rows) > self.max_cached_rows:
+            self._rows.popitem(last=False)
+        return dist
+
+    def rows(self, sources) -> np.ndarray:
+        """Distances from each of ``sources`` to every node.
+
+        Bulk variant of :meth:`row`; results are *not* inserted into
+        the LRU cache (bulk callers keep their own matrix).
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        dist = dijkstra(self.graph, directed=False, indices=sources)
+        return dist.astype(np.float32)
+
+    def distance(self, u: int, v: int) -> float:
+        """One-way latency (ms) between physical nodes ``u`` and ``v``."""
+        if u == v:
+            return 0.0
+        return float(self.row(u)[v])
+
+    def pairwise(self, hosts) -> np.ndarray:
+        """Dense ``(H, H)`` distance matrix among ``hosts``."""
+        hosts = np.asarray(hosts, dtype=np.int64)
+        return self.rows(hosts)[:, hosts]
+
+    def cache_info(self) -> dict:
+        """Diagnostic view of the row cache."""
+        return {"rows": len(self._rows), "capacity": self.max_cached_rows}

@@ -1,0 +1,125 @@
+"""A minimal discrete-event scheduler.
+
+Soft-state expiry, periodic map polling, publish/subscribe
+notification and churn traces all need a shared notion of simulated
+time.  The scheduler is deliberately tiny: a heap of ``(time, seq,
+callback)`` entries and a clock.  Callbacks may schedule further
+events; cancelled events are dropped lazily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: object = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; supports cancel."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class EventScheduler:
+    """Heap-based simulated clock."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback) -> EventHandle:
+        """Run ``callback()`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = _Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback) -> EventHandle:
+        """Run ``callback()`` at absolute simulated ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def schedule_every(self, interval: float, callback) -> EventHandle:
+        """Run ``callback()`` every ``interval`` units until cancelled.
+
+        Returns the handle of the *first* firing; cancellation is
+        checked before each repeat, so cancelling the returned handle
+        stops the whole series.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        event = _Event(self.now + interval, next(self._seq), None)
+
+        def fire():
+            if event.cancelled:
+                return
+            callback()
+            if not event.cancelled:
+                event.time = self.now + interval
+                event.seq = next(self._seq)
+                heapq.heappush(self._heap, event)
+
+        event.callback = fire
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    def run_until(self, time: float) -> int:
+        """Execute all events scheduled at or before ``time``.
+
+        Advances the clock to ``time`` and returns the number of
+        callbacks executed.
+        """
+        executed = 0
+        while self._heap and self._heap[0].time <= time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            executed += 1
+        self.now = max(self.now, time)
+        return executed
+
+    def run_for(self, duration: float) -> int:
+        """Execute events during the next ``duration`` time units."""
+        return self.run_until(self.now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while self._heap and executed < max_events:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            executed += 1
+        if self._heap and executed >= max_events:
+            raise RuntimeError("event budget exhausted; runaway schedule?")
+        return executed

@@ -1,0 +1,132 @@
+"""The :class:`Network` facade.
+
+Higher layers (overlay, proximity search, soft-state) interact with
+the physical network exclusively through this class:
+
+* ``rtt(u, v)`` -- a *measured* round-trip time.  Every call is
+  accounted in :class:`MessageStats` under a caller-supplied category,
+  because the paper's central trade-off is measurement cost versus
+  proximity accuracy.
+* ``latency(u, v)`` -- the oracle's one-way latency, used for metrics
+  (stretch denominators, path accumulation) without being charged as
+  traffic.
+* ``sample_hosts`` -- pick physical nodes to host overlay nodes
+  (stub/edge nodes by default, as overlay participants are end hosts).
+* ``clock`` -- the shared event scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.netsim.distance import DistanceOracle
+from repro.netsim.events import EventScheduler
+from repro.netsim.latency import LatencyModel
+from repro.netsim.transit_stub import Topology
+
+
+class MessageStats:
+    """Categorised message/probe counters.
+
+    A thin wrapper over :class:`collections.Counter` with snapshot /
+    delta helpers so experiments can report "messages spent in this
+    phase".
+    """
+
+    def __init__(self):
+        self._counts = Counter()
+
+    def count(self, category: str, n: int = 1) -> None:
+        """Record ``n`` messages of ``category``."""
+        self._counts[category] += n
+
+    def get(self, category: str) -> int:
+        return self._counts.get(category, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def snapshot(self) -> dict:
+        """Copy of all counters."""
+        return dict(self._counts)
+
+    def delta(self, before: dict) -> dict:
+        """Difference between the current counters and ``before``."""
+        out = {}
+        for key, value in self._counts.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                out[key] = diff
+        return out
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self):
+        return f"MessageStats({dict(self._counts)!r})"
+
+
+class Network:
+    """Simulated physical network: topology + latency model + oracle."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        latency_model: LatencyModel,
+        max_cached_rows: int = 4096,
+    ):
+        self.topology = topology
+        self.latency_model = latency_model
+        self.oracle = DistanceOracle.from_topology(
+            topology, latency_model, max_cached_rows=max_cached_rows
+        )
+        self.stats = MessageStats()
+        self.clock = EventScheduler()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    # -- measurement (charged) -------------------------------------------
+
+    def rtt(self, u: int, v: int, category: str = "rtt_probe") -> float:
+        """Measure the RTT between hosts ``u`` and ``v`` (charged)."""
+        self.stats.count(category)
+        return 2.0 * self.oracle.distance(u, v)
+
+    def rtt_many(self, u: int, hosts, category: str = "rtt_probe") -> np.ndarray:
+        """Measure RTTs from ``u`` to each host in ``hosts`` (charged)."""
+        hosts = np.asarray(hosts, dtype=np.int64)
+        self.stats.count(category, len(hosts))
+        row = self.oracle.row(u)
+        return 2.0 * row[hosts].astype(np.float64)
+
+    # -- oracle access (not charged; used for ground truth / metrics) ----
+
+    def latency(self, u: int, v: int) -> float:
+        """One-way latency (ms); free, for metric computation."""
+        return self.oracle.distance(u, v)
+
+    def latencies_from(self, u: int) -> np.ndarray:
+        """One-way latency from ``u`` to every physical node; free."""
+        return self.oracle.row(u)
+
+    def path_latency(self, hosts) -> float:
+        """Accumulated one-way latency along a host sequence; free."""
+        total = 0.0
+        for a, b in zip(hosts, hosts[1:]):
+            total += self.oracle.distance(a, b)
+        return total
+
+    # -- host management ---------------------------------------------------
+
+    def sample_hosts(
+        self, n: int, rng: np.random.Generator, stub_only: bool = True
+    ) -> np.ndarray:
+        """Sample ``n`` distinct physical nodes to serve as overlay hosts."""
+        pool = self.topology.stub_nodes() if stub_only else np.arange(self.num_nodes)
+        if n > len(pool):
+            raise ValueError(f"requested {n} hosts from a pool of {len(pool)}")
+        return rng.choice(pool, size=n, replace=False)

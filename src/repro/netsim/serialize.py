@@ -1,0 +1,70 @@
+"""Topology serialization.
+
+Experiments are deterministic given (config, seed), but sharing an
+exact topology file is still useful -- for cross-implementation
+comparisons, for archiving the topology behind a published number, or
+for feeding an externally generated graph (e.g. a real GT-ITM output
+converted offline) into the simulator.
+
+Format: a single ``.npz`` holding the arrays plus a small JSON header
+with the config and seed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.netsim.transit_stub import Topology, TransitStubConfig
+
+FORMAT_VERSION = 1
+
+
+def save_topology(topology: Topology, path) -> None:
+    """Write ``topology`` to ``path`` (.npz)."""
+    path = pathlib.Path(path)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": topology.name,
+        "seed": topology.seed,
+        "config": {
+            field: getattr(topology.config, field)
+            for field in TransitStubConfig.__dataclass_fields__
+        },
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        edges=topology.edges,
+        edge_class=topology.edge_class,
+        node_kind=topology.node_kind,
+        transit_domain=topology.transit_domain,
+        stub_domain=topology.stub_domain,
+        coords=topology.coords,
+    )
+
+
+def load_topology(path) -> Topology:
+    """Read a topology written by :func:`save_topology`."""
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported topology format {header.get('format_version')!r}"
+            )
+        config = TransitStubConfig(**header["config"])
+        return Topology(
+            num_nodes=len(data["node_kind"]),
+            edges=data["edges"],
+            edge_class=data["edge_class"],
+            node_kind=data["node_kind"],
+            transit_domain=data["transit_domain"],
+            stub_domain=data["stub_domain"],
+            coords=data["coords"],
+            config=config,
+            seed=header["seed"],
+            name=header["name"],
+        )

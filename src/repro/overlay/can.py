@@ -1,0 +1,342 @@
+"""The basic content-addressable network (CAN).
+
+A CAN partitions a d-dimensional unit torus into zones, one owner
+node per zone (after churn a node may temporarily own several zones,
+as in the original CAN's takeover procedure).  Keys are points in the
+space; the node whose zone contains a point owns it.
+
+* **Join** -- the newcomer picks a random point, routes to the owner
+  of that point, and splits the owner's zone in half (split dimension
+  cycles with depth), taking the half that contains its point.
+* **Leave** -- each zone of the departing node is handed to a
+  neighbor: the owner of the zone's *sibling* if that sibling is
+  intact (producing a clean merge), otherwise the smallest-volume
+  neighboring node, which then holds multiple zones until merges
+  become possible.
+* **Routing** -- greedy geographic forwarding on the torus: each hop
+  moves to the neighbor whose zone is closest to the target point.
+  A visited set guards against ties/cycles (cannot happen in a
+  well-formed CAN, but keeps routing total under any state).
+
+Message accounting: every forwarding hop is charged to the overlay's
+:class:`~repro.netsim.network.MessageStats` when one is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.overlay.routing import RouteResult
+from repro.overlay.zone import Zone
+
+
+@dataclass
+class CanNode:
+    """State of one CAN participant."""
+
+    node_id: int
+    host: int
+    zones: list = field(default_factory=list)
+    neighbors: set = field(default_factory=set)
+
+    @property
+    def zone(self) -> Zone:
+        """Primary zone (the first one; nodes usually own exactly one)."""
+        return self.zones[0]
+
+    def contains(self, point) -> bool:
+        return any(z.contains(point) for z in self.zones)
+
+    def distance_to_point(self, point, torus: bool = True) -> float:
+        return min(z.distance_to_point(point, torus) for z in self.zones)
+
+    def total_volume(self) -> float:
+        return sum(z.volume() for z in self.zones)
+
+
+class CanOverlay:
+    """A d-dimensional CAN over simulated hosts."""
+
+    def __init__(self, dims: int = 2, torus: bool = True, rng=None, stats=None):
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self.torus = torus
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = stats
+        self.nodes: dict = {}
+        # owner lookup: depth -> {integer index tuple -> node_id}
+        self._by_depth: dict = {}
+        self._node_order: list = []
+        #: observers notified as (event, node_id) on zone-set changes
+        self.observers: list = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id) -> bool:
+        return node_id in self.nodes
+
+    def _count(self, category: str, n: int = 1) -> None:
+        if self.stats is not None and category is not None and n:
+            self.stats.count(category, n)
+
+    @staticmethod
+    def _zone_index(zone: Zone) -> tuple:
+        """Integer grid index of a zone among equal-shaped zones of its depth."""
+        return tuple(
+            int(round(lo / (hi - lo))) for lo, hi in zip(zone.lo, zone.hi)
+        )
+
+    def _index_zone(self, zone: Zone, node_id: int) -> None:
+        self._by_depth.setdefault(zone.depth, {})[self._zone_index(zone)] = node_id
+
+    def _unindex_zone(self, zone: Zone) -> None:
+        bucket = self._by_depth.get(zone.depth)
+        if bucket is not None:
+            bucket.pop(self._zone_index(zone), None)
+            if not bucket:
+                del self._by_depth[zone.depth]
+
+    def _notify(self, event: str, node_id: int) -> None:
+        for observer in self.observers:
+            observer(event, node_id)
+
+    def random_node(self) -> int:
+        """A uniformly random current member (for bootstrap contacts)."""
+        if not self._node_order:
+            raise RuntimeError("overlay is empty")
+        while True:
+            node_id = self._node_order[int(self.rng.integers(0, len(self._node_order)))]
+            if node_id in self.nodes:
+                return node_id
+            # lazily compact the order list when it accumulates dead entries
+            if len(self._node_order) > 2 * len(self.nodes):
+                self._node_order = list(self.nodes)
+
+    def random_point(self) -> tuple:
+        return tuple(float(x) for x in self.rng.random(self.dims))
+
+    # -- owner lookup (local data structure, not charged) --------------------
+
+    def owner_of_point(self, point) -> int:
+        """Node id owning ``point``; O(#distinct depths) dictionary walk."""
+        for depth in self._by_depth:
+            zones = self._by_depth[depth]
+            # reconstruct the index the containing zone of this depth would have
+            idx = []
+            for dim in range(self.dims):
+                splits = depth // self.dims + (1 if dim < depth % self.dims else 0)
+                idx.append(min((1 << splits) - 1, int(point[dim] * (1 << splits))))
+            node_id = zones.get(tuple(idx))
+            if node_id is not None:
+                return node_id
+        raise KeyError(f"no owner for point {point}")
+
+    # -- membership -----------------------------------------------------------
+
+    def join(self, node_id: int, host: int, point=None, start_node=None) -> CanNode:
+        """Add ``node_id`` (running on physical ``host``) to the overlay."""
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already present")
+        node = CanNode(node_id=node_id, host=host)
+        if not self.nodes:
+            root = Zone.root(self.dims)
+            node.zones.append(root)
+            self.nodes[node_id] = node
+            self._index_zone(root, node_id)
+            self._node_order.append(node_id)
+            self._notify("join", node_id)
+            return node
+
+        if point is None:
+            point = self.random_point()
+        if start_node is None:
+            start_node = self.random_node()
+        result = self.route(start_node, point, category="join_route")
+        owner = self.nodes[result.owner]
+
+        # split the owner's zone that contains the join point
+        zone = next(z for z in owner.zones if z.contains(point))
+        lower, upper = zone.split()
+        keep, give = (upper, lower) if lower.contains(point) else (lower, upper)
+        owner.zones[owner.zones.index(zone)] = keep
+        node.zones.append(give)
+        self._unindex_zone(zone)
+        self._index_zone(keep, owner.node_id)
+        self._index_zone(give, node_id)
+        self.nodes[node_id] = node
+        self._node_order.append(node_id)
+
+        # neighbor updates are local: the newcomer can only abut the old
+        # owner and the owner's previous neighbors.
+        self._rewire({owner.node_id, node_id} | set(owner.neighbors))
+        self._count("join_update", len(node.neighbors) + 1)
+        self._notify("join", node_id)
+        self._notify("zone_change", owner.node_id)
+        return node
+
+    def leave(self, node_id: int) -> None:
+        """Remove ``node_id``; its zones are taken over by neighbors."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"node {node_id} not present")
+        if len(self.nodes) == 1:
+            for zone in node.zones:
+                self._unindex_zone(zone)
+            del self.nodes[node_id]
+            self._notify("leave", node_id)
+            return
+
+        affected = set(node.neighbors)
+        takers = set()
+        for zone in list(node.zones):
+            self._unindex_zone(zone)
+            taker = self._takeover_target(zone, exclude=node_id)
+            taker_node = self.nodes[taker]
+            taker_node.zones.append(zone)
+            self._index_zone(zone, taker)
+            takers.add(taker)
+            self._count("leave_update")
+        del self.nodes[node_id]
+
+        for taker in takers:
+            self._merge_zones(self.nodes[taker])
+        self._rewire(affected | takers)
+        self._notify("leave", node_id)
+        for taker in takers:
+            self._notify("zone_change", taker)
+
+    def _takeover_target(self, zone: Zone, exclude: int) -> int:
+        """Pick the node to absorb ``zone``: sibling owner, else smallest."""
+        candidates = []
+        for other_id, other in self.nodes.items():
+            if other_id == exclude:
+                continue
+            for oz in other.zones:
+                if zone.is_sibling(oz):
+                    return other_id
+            if any(zone.is_neighbor(oz, self.torus) for oz in other.zones):
+                candidates.append((other.total_volume(), other_id))
+        if not candidates:
+            raise RuntimeError(f"zone {zone} has no takeover candidate")
+        return min(candidates)[1]
+
+    def _merge_zones(self, node: CanNode) -> None:
+        """Collapse sibling pairs held by one node into their parents."""
+        merged = True
+        while merged and len(node.zones) > 1:
+            merged = False
+            for i in range(len(node.zones)):
+                for j in range(i + 1, len(node.zones)):
+                    if node.zones[i].is_sibling(node.zones[j]):
+                        parent = node.zones[i].merge(node.zones[j])
+                        self._unindex_zone(node.zones[i])
+                        self._unindex_zone(node.zones[j])
+                        node.zones = [
+                            z for k, z in enumerate(node.zones) if k not in (i, j)
+                        ]
+                        node.zones.insert(0, parent)
+                        self._index_zone(parent, node.node_id)
+                        merged = True
+                        break
+                if merged:
+                    break
+
+    def _adjacent(self, a: CanNode, b: CanNode) -> bool:
+        return any(
+            za.is_neighbor(zb, self.torus) for za in a.zones for zb in b.zones
+        )
+
+    def _rewire(self, node_ids) -> None:
+        """Recompute neighbor sets for ``node_ids`` after local zone changes."""
+        node_ids = {n for n in node_ids if n in self.nodes}
+        # candidate peers: previous neighborhoods plus the changed set itself
+        candidates = set(node_ids)
+        for node_id in node_ids:
+            candidates |= self.nodes[node_id].neighbors
+        candidates = {c for c in candidates if c in self.nodes}
+
+        for node_id in node_ids:
+            node = self.nodes[node_id]
+            old = node.neighbors
+            new = {
+                c
+                for c in candidates
+                if c != node_id and self._adjacent(node, self.nodes[c])
+            }
+            # keep still-valid links to nodes outside the candidate set
+            for other_id in old - candidates:
+                other = self.nodes.get(other_id)
+                if other is not None and self._adjacent(node, other):
+                    new.add(other_id)
+            for other_id in old - new:
+                other = self.nodes.get(other_id)
+                if other is not None:
+                    other.neighbors.discard(node_id)
+            for other_id in new:
+                self.nodes[other_id].neighbors.add(node_id)
+            node.neighbors = new
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(
+        self,
+        start_node: int,
+        point,
+        category: str = "can_route",
+        max_hops: int = None,
+    ) -> RouteResult:
+        """Greedy-forward from ``start_node`` to the owner of ``point``."""
+        if start_node not in self.nodes:
+            raise KeyError(f"start node {start_node} not present")
+        if max_hops is None:
+            max_hops = 16 * self.dims * max(4, int(len(self.nodes) ** (1.0 / self.dims)) + 2)
+        path = [start_node]
+        visited = {start_node}
+        current = self.nodes[start_node]
+        while not current.contains(point):
+            if len(path) > max_hops:
+                return RouteResult(path=path, owner=None, success=False)
+            best = None
+            for neighbor_id in current.neighbors:
+                if neighbor_id in visited:
+                    continue
+                neighbor = self.nodes[neighbor_id]
+                dist = neighbor.distance_to_point(point, self.torus)
+                if best is None or (dist, neighbor_id) < best:
+                    best = (dist, neighbor_id)
+            if best is None:
+                return RouteResult(path=path, owner=None, success=False)
+            current = self.nodes[best[1]]
+            visited.add(best[1])
+            path.append(best[1])
+            self._count(category)
+        return RouteResult(path=path, owner=current.node_id, success=True)
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def total_volume(self) -> float:
+        """Sum of all zone volumes (must equal 1.0 in a consistent CAN)."""
+        return sum(z.volume() for n in self.nodes.values() for z in n.zones)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the zone set or neighbor sets are broken."""
+        volume = self.total_volume()
+        assert abs(volume - 1.0) < 1e-9, f"zone volumes sum to {volume}"
+        for node_id, node in self.nodes.items():
+            assert node.zones, f"node {node_id} owns no zone"
+            for neighbor_id in node.neighbors:
+                assert neighbor_id in self.nodes, "dangling neighbor link"
+                assert node_id in self.nodes[neighbor_id].neighbors, (
+                    "asymmetric neighbor link"
+                )
+                assert self._adjacent(node, self.nodes[neighbor_id]), (
+                    "non-adjacent neighbor link"
+                )
+            if len(self.nodes) > 1:
+                assert node.neighbors, f"node {node_id} is isolated"

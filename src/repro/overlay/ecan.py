@@ -1,0 +1,331 @@
+"""eCAN: the expressway-augmented, hierarchical CAN.
+
+eCAN overlays a quadtree of *high-order zones* on the CAN space:
+every ``2^d`` order-``i`` zones form one order-``(i+1)`` zone, so the
+level-``l`` high-order zones are exactly the level-``l`` quadtree
+cells of :mod:`repro.overlay.zone`.  A node whose CAN zone sits at
+quadtree level ``L`` is a member of the high-order zones that enclose
+it at levels ``1..L``; besides its default CAN neighbors it keeps, at
+every such level, one *representative* for each of the ``2^d - 1``
+sibling cells of its own cell.  Routing first jumps along the highest
+differing level (each jump lands inside the target's cell at that
+level, Pastry-style prefix correction), then finishes with default
+CAN hops inside the finest shared cell -- O(log N) hops overall.
+
+The choice of representative is exactly the freedom that
+proximity-neighbor selection exploits; it is abstracted behind
+:class:`NeighborPolicy`:
+
+* :class:`RandomNeighborPolicy` -- the paper's baseline ("each node
+  simply randomly picks one node from the neighboring zone").
+* :class:`ClosestNeighborPolicy` -- the oracle *optimal*: the
+  physically closest member, as if infinitely many RTT measurements
+  were allowed.
+* :class:`repro.softstate.neighbor_selection.SoftStateNeighborPolicy`
+  -- the paper's contribution: consult the global soft-state map of
+  the sibling zone, then probe RTTs to the top candidates.
+
+Table entries are validated lazily at use; a dead or stale entry is
+repaired through the policy and charged as a ``table_repair``
+message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.overlay.can import CanOverlay
+from repro.overlay.routing import RouteResult
+from repro.overlay.zone import cell_center, point_cell, sibling_cells
+
+#: hard cap on indexed quadtree depth; 2^24 cells per side is far beyond
+#: any overlay size this simulator will see.
+MAX_LEVEL = 24
+
+
+class NeighborPolicy:
+    """Strategy for choosing a high-order (expressway) neighbor."""
+
+    #: short name used in experiment tables
+    name = "base"
+
+    def select(self, ecan: "EcanOverlay", node_id: int, level: int, cell, candidates):
+        """Pick a representative for ``cell`` from ``candidates``.
+
+        ``candidates`` is a non-empty list of member node ids.  May
+        return ``None`` to decline (the caller falls back to a random
+        member).  Implementations charge their own measurement cost to
+        ``ecan.stats``.
+        """
+        raise NotImplementedError
+
+
+class RandomNeighborPolicy(NeighborPolicy):
+    """Baseline: a uniformly random member of the sibling zone."""
+
+    name = "random"
+
+    def __init__(self, rng=None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, ecan, node_id, level, cell, candidates):
+        return candidates[int(self.rng.integers(0, len(candidates)))]
+
+
+class ClosestNeighborPolicy(NeighborPolicy):
+    """Oracle optimal: the physically closest member (free of charge).
+
+    Models the limit of infinitely many RTT measurements; the paper's
+    "optimal" curves use this policy.
+    """
+
+    name = "optimal"
+
+    def __init__(self, network):
+        self.network = network
+
+    def select(self, ecan, node_id, level, cell, candidates):
+        host = ecan.can.nodes[node_id].host
+        best = None
+        for candidate in candidates:
+            dist = self.network.latency(host, ecan.can.nodes[candidate].host)
+            if best is None or (dist, candidate) < best:
+                best = (dist, candidate)
+        return best[1]
+
+
+class EcanOverlay:
+    """Hierarchical CAN with policy-driven high-order neighbor tables."""
+
+    def __init__(
+        self,
+        dims: int = 2,
+        torus: bool = True,
+        rng=None,
+        stats=None,
+        policy: NeighborPolicy = None,
+    ):
+        self.can = CanOverlay(dims=dims, torus=torus, rng=rng, stats=stats)
+        self.stats = stats
+        # Neither the default policy nor fallback picks may draw from the
+        # join-point stream (can.rng), or two overlays differing only in
+        # policy would grow structurally different zone layouts.
+        self.policy = (
+            policy if policy is not None
+            else RandomNeighborPolicy(np.random.default_rng(0xECA9))
+        )
+        self._fallback_rng = np.random.default_rng(0x5F5E1)
+        # level -> {cell tuple -> set(node ids whose zone fits inside)}
+        self._members: dict = {}
+        # node id -> list of (level, cell) index entries, for clean removal
+        self._indexed: dict = {}
+        # node id -> {level -> {sibling cell -> representative node id}}
+        self._tables: dict = {}
+        self.can.observers.append(self._on_can_event)
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return self.can.dims
+
+    @property
+    def nodes(self) -> dict:
+        return self.can.nodes
+
+    def __len__(self) -> int:
+        return len(self.can)
+
+    def _count(self, category: str, n: int = 1) -> None:
+        if self.stats is not None and category is not None and n:
+            self.stats.count(category, n)
+
+    # -- membership index --------------------------------------------------
+
+    def _on_can_event(self, event: str, node_id: int) -> None:
+        if event in ("join", "zone_change"):
+            self._reindex(node_id)
+        elif event == "leave":
+            self._unindex(node_id)
+            self._tables.pop(node_id, None)
+
+    def _unindex(self, node_id: int) -> None:
+        for level, cell in self._indexed.pop(node_id, ()):
+            bucket = self._members.get(level)
+            if bucket is None:
+                continue
+            members = bucket.get(cell)
+            if members is not None:
+                members.discard(node_id)
+                if not members:
+                    del bucket[cell]
+
+    def _reindex(self, node_id: int) -> None:
+        self._unindex(node_id)
+        node = self.can.nodes.get(node_id)
+        if node is None:
+            return
+        entries = []
+        for zone in node.zones:
+            for level in range(1, min(zone.max_level, MAX_LEVEL) + 1):
+                cell = zone.cell(level)
+                self._members.setdefault(level, {}).setdefault(cell, set()).add(node_id)
+                entries.append((level, cell))
+        self._indexed[node_id] = entries
+
+    def members(self, level: int, cell, exclude: int = None) -> list:
+        """Sorted member node ids of the high-order zone ``(level, cell)``.
+
+        Only nodes whose zone lies fully inside the cell are indexed;
+        if none exists, the single node whose (larger) zone covers the
+        cell's center is returned instead.
+        """
+        found = self._members.get(level, {}).get(cell)
+        if found:
+            out = sorted(n for n in found if n != exclude)
+            if out:
+                return out
+        owner = self.can.owner_of_point(cell_center(cell, level))
+        return [] if owner == exclude else [owner]
+
+    # -- membership operations ------------------------------------------------
+
+    def join(self, node_id: int, host: int, point=None, start_node=None):
+        """Join the CAN, then build the newcomer's high-order tables."""
+        node = self.can.join(node_id, host, point=point, start_node=start_node)
+        self.build_table(node_id)
+        return node
+
+    def leave(self, node_id: int) -> None:
+        """Leave the overlay; stale references elsewhere repair lazily."""
+        self.can.leave(node_id)
+
+    # -- high-order tables -------------------------------------------------------
+
+    def _select(self, node_id: int, level: int, cell) -> int:
+        candidates = self.members(level, cell, exclude=node_id)
+        if not candidates:
+            return None
+        chosen = self.policy.select(self, node_id, level, cell, candidates)
+        if chosen is None:
+            chosen = candidates[int(self._fallback_rng.integers(0, len(candidates)))]
+        self._count("neighbor_select")
+        return chosen
+
+    def build_table(self, node_id: int, max_level: int = None) -> None:
+        """(Re)build all high-order entries for ``node_id`` via the policy."""
+        node = self.can.nodes[node_id]
+        zone = node.zone
+        table: dict = {}
+        top = zone.max_level if max_level is None else min(max_level, zone.max_level)
+        for level in range(1, top + 1):
+            own_cell = zone.cell(level)
+            row = {}
+            for sibling in sibling_cells(own_cell):
+                entry = self._select(node_id, level, sibling)
+                if entry is not None:
+                    row[sibling] = entry
+            table[level] = row
+        self._tables[node_id] = table
+
+    def refresh_entry(self, node_id: int, level: int, cell) -> int:
+        """Re-run the policy for one table slot (used by pub/sub repair)."""
+        entry = self._select(node_id, level, cell)
+        if entry is not None:
+            self._tables.setdefault(node_id, {}).setdefault(level, {})[cell] = entry
+        return entry
+
+    def table_entry(self, node_id: int, level: int, cell):
+        """Current representative for ``cell``, repairing lazily if stale."""
+        table = self._tables.setdefault(node_id, {})
+        row = table.setdefault(level, {})
+        entry = row.get(cell)
+        if entry is not None and self._entry_valid(entry, level, cell):
+            return entry, False
+        repaired = entry is not None
+        entry = self._select(node_id, level, cell)
+        if entry is None:
+            row.pop(cell, None)
+            return None, repaired
+        if repaired:
+            self._count("table_repair")
+        row[cell] = entry
+        return entry, repaired
+
+    def _entry_valid(self, entry: int, level: int, cell) -> bool:
+        node = self.can.nodes.get(entry)
+        if node is None:
+            return False
+        side = 1.0 / (1 << level)
+        lo = [c * side for c in cell]
+        hi = [(c + 1) * side for c in cell]
+        for zone in node.zones:
+            if all(
+                zl < h and l < zh
+                for zl, zh, l, h in zip(zone.lo, zone.hi, lo, hi)
+            ):
+                return True
+        return False
+
+    def table_of(self, node_id: int) -> dict:
+        """Read-only view of a node's high-order table (level -> cell -> id)."""
+        return self._tables.get(node_id, {})
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(
+        self,
+        start_node: int,
+        point,
+        category: str = "ecan_route",
+        max_hops: int = 512,
+    ) -> RouteResult:
+        """Prefix-style routing: expressway jumps, then CAN greedy hops."""
+        if start_node not in self.can.nodes:
+            raise KeyError(f"start node {start_node} not present")
+        path = [start_node]
+        visited = {start_node}
+        result = RouteResult(path=path)
+        current = self.can.nodes[start_node]
+        while not current.contains(point):
+            if len(path) > max_hops:
+                result.owner = None
+                result.success = False
+                return result
+            next_id = None
+            zone = current.zone
+            diff_level = None
+            for level in range(1, zone.max_level + 1):
+                if zone.cell(level) != point_cell(point, level):
+                    diff_level = level
+                    break
+            if diff_level is not None:
+                target_cell = point_cell(point, diff_level)
+                entry, repaired = self.table_entry(
+                    current.node_id, diff_level, target_cell
+                )
+                result.repairs += int(repaired)
+                if entry is not None and entry not in visited:
+                    next_id = entry
+                    result.expressway_hops += 1
+            if next_id is None:
+                best = None
+                for neighbor_id in current.neighbors:
+                    if neighbor_id in visited:
+                        continue
+                    neighbor = self.can.nodes[neighbor_id]
+                    dist = neighbor.distance_to_point(point, self.can.torus)
+                    if best is None or (dist, neighbor_id) < best:
+                        best = (dist, neighbor_id)
+                if best is None:
+                    result.owner = None
+                    result.success = False
+                    return result
+                next_id = best[1]
+                result.can_hops += 1
+            current = self.can.nodes[next_id]
+            visited.add(next_id)
+            path.append(next_id)
+            self._count(category)
+        result.owner = current.node_id
+        return result

@@ -1,0 +1,43 @@
+"""Pastry port of the global-soft-state technique.
+
+Pastry is the paper's recurring comparison point: its
+proximity-neighbor selection picks routing-table entries "according
+to proximity metric among all nodes that satisfy the constraint of
+the logical overlay (the nodeId prefix)", bootstrapped by
+expanding-ring search or heuristics -- exactly the machinery the
+paper replaces with global soft-state.  For Pastry, a *region* is the
+set of nodes sharing an id prefix, and the appendix prescribes: "we
+can use a prefix of the nodeIds to partition the logical space into
+grids" for map placement.
+
+* :mod:`repro.pastry.ring` -- a Pastry overlay: base-4 digit ids,
+  leaf sets, per-(row, digit) routing tables with pluggable slot
+  choice, standard prefix routing with the leaf-set shortcut.
+* :mod:`repro.pastry.softstate` -- per-prefix-region proximity maps
+  (an id prefix is an aligned ring interval, so placement reuses the
+  1-d landmark-number scaling), plus the landmark+RTT slot policy.
+"""
+
+from repro.pastry.ring import (
+    FirstSlotPolicy,
+    PastryRing,
+    RandomSlotPolicy,
+    SlotPolicy,
+)
+from repro.pastry.softstate import (
+    PastryClosestSlotPolicy,
+    PastrySoftState,
+    PastrySoftStateSlotPolicy,
+    build_soft_state_pastry,
+)
+
+__all__ = [
+    "FirstSlotPolicy",
+    "PastryClosestSlotPolicy",
+    "PastryRing",
+    "PastrySoftState",
+    "PastrySoftStateSlotPolicy",
+    "RandomSlotPolicy",
+    "SlotPolicy",
+    "build_soft_state_pastry",
+]

@@ -1,0 +1,358 @@
+"""A Pastry overlay with policy-driven routing-table slots.
+
+Ids are integers of ``digits`` base-``2^digit_bits`` digits (default
+16 digits of 2 bits: a 32-bit id space).  Per node:
+
+* a **leaf set** -- the ``leaf_span`` numerically closest members on
+  each side of the id (derived from the globally consistent member
+  list, modelling converged leaf-set maintenance);
+* a **routing table** -- slot ``(row, digit)`` holds some member
+  whose id shares the first ``row`` digits with the node and has
+  ``digit`` at position ``row``.  *Any* such member qualifies: this
+  is the freedom proximity-neighbor selection exploits, abstracted as
+  :class:`SlotPolicy`.
+
+Routing (Rowstron & Druschel, Middleware 2001): if the key falls in
+the leaf-set range, jump to the numerically closest leaf; otherwise
+forward to the slot matching one more prefix digit; if that slot is
+empty, fall back to any known node strictly closer to the key with at
+least as long a shared prefix.  Hop count is O(log_b N).
+
+Stale slots (after churn) are repaired lazily through the policy and
+charged as ``table_repair``, like the other overlays in this library.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def ring_distance(a: int, b: int, space: int) -> int:
+    """Minimal circular distance between two ids."""
+    gap = abs(a - b)
+    return min(gap, space - gap)
+
+
+@dataclass
+class PastryNode:
+    node_id: int
+    host: int
+    #: (row, digit) -> chosen node id
+    table: dict = field(default_factory=dict)
+
+
+class SlotPolicy:
+    """Strategy for filling a routing-table slot."""
+
+    name = "base"
+
+    def select(self, ring: "PastryRing", node_id: int, row: int, digit: int,
+               candidates):
+        """Pick from non-empty ``candidates``; None means 'any'."""
+        raise NotImplementedError
+
+
+class FirstSlotPolicy(SlotPolicy):
+    """Deterministic baseline: the numerically smallest candidate."""
+
+    name = "first"
+
+    def select(self, ring, node_id, row, digit, candidates):
+        return min(candidates)
+
+
+class RandomSlotPolicy(SlotPolicy):
+    """The no-proximity baseline: any prefix-matching node."""
+
+    name = "random"
+
+    def __init__(self, rng=None):
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def select(self, ring, node_id, row, digit, candidates):
+        return candidates[int(self.rng.integers(0, len(candidates)))]
+
+
+class PastryRing:
+    """The Pastry overlay."""
+
+    def __init__(self, digits: int = 16, digit_bits: int = 2, leaf_span: int = 4,
+                 network=None, rng=None, stats=None, policy: SlotPolicy = None):
+        if digits < 2 or digit_bits < 1:
+            raise ValueError("need digits >= 2 and digit_bits >= 1")
+        self.digits = digits
+        self.digit_bits = digit_bits
+        self.base = 1 << digit_bits
+        self.bits = digits * digit_bits
+        self.space = 1 << self.bits
+        self.leaf_span = leaf_span
+        self.network = network
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = stats
+        self.policy = policy if policy is not None else RandomSlotPolicy(self.rng)
+        self._ids: list = []
+        self.nodes: dict = {}
+        self.observers: list = []
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def _count(self, category: str, n: int = 1) -> None:
+        if self.stats is not None and category is not None and n:
+            self.stats.count(category, n)
+
+    def members(self) -> list:
+        return list(self._ids)
+
+    def random_member(self) -> int:
+        if not self._ids:
+            raise RuntimeError("ring is empty")
+        return self._ids[int(self.rng.integers(0, len(self._ids)))]
+
+    def random_key(self) -> int:
+        return int(self.rng.integers(0, self.space))
+
+    # -- id arithmetic -------------------------------------------------------
+
+    def digit(self, node_id: int, row: int) -> int:
+        """Digit at position ``row`` (0 = most significant)."""
+        shift = self.bits - (row + 1) * self.digit_bits
+        return (node_id >> shift) & (self.base - 1)
+
+    def shared_prefix(self, a: int, b: int) -> int:
+        """Number of leading digits ``a`` and ``b`` share."""
+        for row in range(self.digits):
+            if self.digit(a, row) != self.digit(b, row):
+                return row
+        return self.digits
+
+    def prefix_interval(self, node_id: int, row: int, digit: int) -> tuple:
+        """Id interval of 'shares first ``row`` digits, then ``digit``'."""
+        shift = self.bits - (row + 1) * self.digit_bits
+        prefix = node_id >> (shift + self.digit_bits)
+        lo = ((prefix << self.digit_bits) | digit) << shift
+        return lo, lo + (1 << shift)
+
+    def prefix_members(self, lo: int, hi: int) -> list:
+        i = bisect.bisect_left(self._ids, lo)
+        j = bisect.bisect_left(self._ids, hi)
+        return self._ids[i:j]
+
+    def numerically_closest(self, key: int) -> int:
+        """The member whose id is circularly closest to ``key``."""
+        if not self._ids:
+            raise RuntimeError("ring is empty")
+        i = bisect.bisect_left(self._ids, key % self.space)
+        best = None
+        for candidate in (self._ids[i % len(self._ids)], self._ids[i - 1]):
+            gap = ring_distance(candidate, key % self.space, self.space)
+            if best is None or (gap, candidate) < best:
+                best = (gap, candidate)
+        return best[1]
+
+    # -- membership ---------------------------------------------------------------
+
+    def join(self, host: int, node_id: int = None) -> int:
+        if node_id is None:
+            while True:
+                node_id = int(self.rng.integers(0, self.space))
+                if node_id not in self.nodes:
+                    break
+        elif node_id in self.nodes:
+            raise ValueError(f"id {node_id} already present")
+        bisect.insort(self._ids, node_id)
+        self.nodes[node_id] = PastryNode(node_id=node_id, host=host)
+        if len(self._ids) > 1:
+            self.route(self.random_member(), node_id, category="join_route")
+        for observer in self.observers:
+            observer("join", node_id)
+        return node_id
+
+    def leave(self, node_id: int) -> None:
+        if node_id not in self.nodes:
+            raise KeyError(f"id {node_id} not present")
+        self._ids.remove(node_id)
+        del self.nodes[node_id]
+        for observer in self.observers:
+            observer("leave", node_id)
+
+    # -- leaf set -------------------------------------------------------------------
+
+    def leaf_set(self, node_id: int) -> list:
+        """The ``leaf_span`` members on each side (converged view)."""
+        if node_id not in self.nodes:
+            raise KeyError(f"id {node_id} not present")
+        n = len(self._ids)
+        if n == 1:
+            return []
+        i = self._ids.index(node_id)
+        span = min(self.leaf_span, (n - 1) // 2 + 1)
+        leaves = []
+        for offset in range(1, span + 1):
+            leaves.append(self._ids[(i + offset) % n])
+            leaves.append(self._ids[(i - offset) % n])
+        return sorted(set(leaves) - {node_id})
+
+    def _in_leaf_range(self, node_id: int, key: int) -> bool:
+        leaves = self.leaf_set(node_id)
+        if not leaves:
+            return True
+        lo = min(leaves + [node_id])
+        hi = max(leaves + [node_id])
+        # treat the leaf set as covering [lo, hi] when it does not wrap;
+        # near the wrap point fall back to distance comparison
+        if hi - lo < self.space // 2:
+            return lo <= key <= hi
+        gap_self = ring_distance(node_id, key, self.space)
+        return any(
+            ring_distance(leaf, key, self.space) <= gap_self for leaf in leaves
+        ) or gap_self == 0
+
+    # -- routing table -----------------------------------------------------------------
+
+    def _slot_candidates(self, node_id: int, row: int, digit: int) -> list:
+        lo, hi = self.prefix_interval(node_id, row, digit)
+        return [c for c in self.prefix_members(lo, hi) if c != node_id]
+
+    def _select_slot(self, node_id: int, row: int, digit: int):
+        candidates = self._slot_candidates(node_id, row, digit)
+        if not candidates:
+            return None
+        chosen = self.policy.select(self, node_id, row, digit, candidates)
+        if chosen is None:
+            chosen = min(candidates)
+        self._count("neighbor_select")
+        return chosen
+
+    def build_table(self, node_id: int, max_rows: int = None) -> None:
+        """(Re)build the routing table through the policy."""
+        node = self.nodes[node_id]
+        node.table = {}
+        rows = self.digits if max_rows is None else min(max_rows, self.digits)
+        for row in range(rows):
+            own_digit = self.digit(node_id, row)
+            populated = False
+            for digit in range(self.base):
+                if digit == own_digit:
+                    continue
+                entry = self._select_slot(node_id, row, digit)
+                if entry is not None:
+                    node.table[(row, digit)] = entry
+                    populated = True
+            if not populated and row > 0:
+                break  # deeper rows are empty once the prefix is unique
+
+    def slot(self, node_id: int, row: int, digit: int):
+        """Slot entry, lazily repaired when dead or stale."""
+        node = self.nodes[node_id]
+        entry = node.table.get((row, digit))
+        if entry is not None and entry in self.nodes:
+            lo, hi = self.prefix_interval(node_id, row, digit)
+            if lo <= entry < hi:
+                return entry
+        repaired = entry is not None
+        entry = self._select_slot(node_id, row, digit)
+        if entry is None:
+            node.table.pop((row, digit), None)
+            return None
+        if repaired:
+            self._count("table_repair")
+        node.table[(row, digit)] = entry
+        return entry
+
+    # -- routing --------------------------------------------------------------------------
+
+    def route(self, start_id: int, key: int, category: str = "pastry_route",
+              max_hops: int = None):
+        """Prefix routing with leaf-set completion."""
+        from repro.overlay.routing import RouteResult
+
+        if start_id not in self.nodes:
+            raise KeyError(f"start node {start_id} not present")
+        if max_hops is None:
+            max_hops = 4 * self.digits + 16
+        key %= self.space
+        owner = self.numerically_closest(key)
+        path = [start_id]
+        current = start_id
+        result = RouteResult(path=path)
+        while current != owner:
+            if len(path) > max_hops:
+                result.owner = None
+                result.success = False
+                return result
+            next_hop = None
+            if self._in_leaf_range(current, key):
+                leaves = self.leaf_set(current) + [current]
+                closest = min(
+                    leaves,
+                    key=lambda l: (ring_distance(l, key, self.space), l),
+                )
+                if closest != current:
+                    next_hop = closest
+            if next_hop is None:
+                row = self.shared_prefix(current, key)
+                if row >= self.digits:
+                    next_hop = owner
+                else:
+                    entry = self.slot(current, row, self.digit(key, row))
+                    if entry is not None and entry not in path:
+                        next_hop = entry
+            if next_hop is None:
+                # rare fallback: any known node strictly closer to the key
+                # with at least as long a prefix (leaf set serves as the
+                # candidate pool, as in Pastry's rule)
+                row = self.shared_prefix(current, key)
+                gap = ring_distance(current, key, self.space)
+                for candidate in self.leaf_set(current):
+                    if candidate in path:
+                        continue
+                    if (
+                        self.shared_prefix(candidate, key) >= row
+                        and ring_distance(candidate, key, self.space) < gap
+                    ):
+                        next_hop = candidate
+                        break
+            if next_hop is None or next_hop in path:
+                result.owner = None
+                result.success = False
+                return result
+            path.append(next_hop)
+            current = next_hop
+            self._count(category)
+        result.owner = owner
+        return result
+
+    # -- metrics -------------------------------------------------------------------------------
+
+    def measure_stretch(self, samples: int, rng=None) -> np.ndarray:
+        """Routing stretch over random member pairs (needs a network)."""
+        if self.network is None:
+            raise RuntimeError("ring has no attached network")
+        if rng is None:
+            rng = self.rng
+        ids = np.array(self._ids)
+        stretches = []
+        attempts = 0
+        while len(stretches) < samples and attempts < 4 * samples:
+            attempts += 1
+            src, dst = rng.choice(ids, size=2, replace=False)
+            result = self.route(int(src), int(dst))
+            if not result.success or result.owner != int(dst):
+                continue
+            hosts = [self.nodes[n].host for n in result.path]
+            direct = self.network.latency(
+                self.nodes[int(src)].host, self.nodes[int(dst)].host
+            )
+            if direct <= 1e-9:
+                continue
+            stretches.append(self.network.path_latency(hosts) / direct)
+        return np.asarray(stretches)

@@ -1,0 +1,44 @@
+"""Proximity-information generation.
+
+The paper contrasts three ways of producing proximity information and
+contributes a hybrid of two of them:
+
+* :mod:`repro.proximity.ers` -- expanding-ring search, the blind
+  flooding baseline;
+* :mod:`repro.proximity.landmarks` -- landmark clustering: landmark
+  RTT vectors, landmark orderings (the Topologically-Aware CAN
+  technique) and scalar *landmark numbers* derived through a
+  space-filling curve;
+* :mod:`repro.proximity.hybrid` -- the paper's contribution: landmark
+  pre-selection followed by a handful of real RTT measurements;
+* :mod:`repro.proximity.hilbert` -- n-dimensional Hilbert curves
+  (Skilling's algorithm), the dimensionality-reduction device;
+* :mod:`repro.proximity.coordinates` -- a GNP-style coordinate
+  embedding, reproduced as a related-work baseline.
+"""
+
+from repro.proximity.coordinates import CoordinateSystem
+from repro.proximity.ers import SearchCurve, expanding_ring_search
+from repro.proximity.hilbert import HilbertCurve
+from repro.proximity.hybrid import hybrid_search, rank_candidates
+from repro.proximity.landmarks import (
+    LandmarkSet,
+    LandmarkSpace,
+    landmark_order,
+    measure_vector,
+    select_landmarks,
+)
+
+__all__ = [
+    "CoordinateSystem",
+    "HilbertCurve",
+    "LandmarkSet",
+    "LandmarkSpace",
+    "SearchCurve",
+    "expanding_ring_search",
+    "hybrid_search",
+    "landmark_order",
+    "measure_vector",
+    "rank_candidates",
+    "select_landmarks",
+]

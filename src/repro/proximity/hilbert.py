@@ -1,0 +1,152 @@
+"""n-dimensional Hilbert space-filling curves.
+
+The paper (appendix) uses Hilbert curves twice:
+
+1. to reduce a node's high-dimensional landmark vector to a single
+   scalar *landmark number* while preserving closeness, and
+2. to map landmark numbers back to positions inside an overlay region
+   when placing soft-state records (the hash ``p' = h(p, dp, dz, z)``).
+
+This module implements John Skilling's compact transformation
+("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004), which
+converts between d-dimensional integer coordinates and the Hilbert
+index for an arbitrary number of dimensions and bits of precision.
+
+The defining locality property -- consecutive indices map to cells
+that differ by exactly 1 in exactly one coordinate -- is exercised by
+the property-based tests.
+"""
+
+from __future__ import annotations
+
+
+class HilbertCurve:
+    """Hilbert index <-> coordinates for ``dims`` dimensions, ``bits`` each.
+
+    Coordinates live in ``[0, 2**bits)``; indices in
+    ``[0, 2**(bits*dims))``.
+    """
+
+    def __init__(self, bits: int, dims: int):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.bits = bits
+        self.dims = dims
+
+    @property
+    def side(self) -> int:
+        """Cells per dimension."""
+        return 1 << self.bits
+
+    @property
+    def length(self) -> int:
+        """Total number of cells on the curve."""
+        return 1 << (self.bits * self.dims)
+
+    # -- integer interface ---------------------------------------------------
+
+    def encode(self, coords) -> int:
+        """Hilbert index of integer cell ``coords``."""
+        x = list(coords)
+        if len(x) != self.dims:
+            raise ValueError(f"expected {self.dims} coordinates, got {len(x)}")
+        side = self.side
+        for value in x:
+            if not 0 <= value < side:
+                raise ValueError(f"coordinate {value} outside [0, {side})")
+        transpose = self._axes_to_transpose(x)
+        return self._transpose_to_index(transpose)
+
+    def decode(self, index: int) -> tuple:
+        """Integer cell coordinates of Hilbert ``index``."""
+        if not 0 <= index < self.length:
+            raise ValueError(f"index {index} outside [0, {self.length})")
+        transpose = self._index_to_transpose(index)
+        return tuple(self._transpose_to_axes(transpose))
+
+    # -- unit-cube convenience interface ----------------------------------------
+
+    def encode_point(self, point) -> int:
+        """Hilbert index of a point in the unit cube ``[0, 1)^dims``."""
+        side = self.side
+        coords = [min(side - 1, max(0, int(x * side))) for x in point]
+        return self.encode(coords)
+
+    def decode_center(self, index: int) -> tuple:
+        """Center of the unit-cube cell of Hilbert ``index``."""
+        side = self.side
+        return tuple((c + 0.5) / side for c in self.decode(index))
+
+    # -- Skilling's transform ------------------------------------------------------
+
+    def _axes_to_transpose(self, x: list) -> list:
+        """In-place conversion from coordinates to 'transpose' form."""
+        m = 1 << (self.bits - 1)
+        n = self.dims
+        # Inverse undo of the excess work below
+        q = m
+        while q > 1:
+            p = q - 1
+            for i in range(n):
+                if x[i] & q:
+                    x[0] ^= p
+                else:
+                    t = (x[0] ^ x[i]) & p
+                    x[0] ^= t
+                    x[i] ^= t
+            q >>= 1
+        # Gray encode
+        for i in range(1, n):
+            x[i] ^= x[i - 1]
+        t = 0
+        q = m
+        while q > 1:
+            if x[n - 1] & q:
+                t ^= q - 1
+            q >>= 1
+        for i in range(n):
+            x[i] ^= t
+        return x
+
+    def _transpose_to_axes(self, x: list) -> list:
+        """In-place conversion from 'transpose' form back to coordinates."""
+        n = self.dims
+        top = 2 << (self.bits - 1)
+        # Gray decode by H ^ (H/2)
+        t = x[n - 1] >> 1
+        for i in range(n - 1, 0, -1):
+            x[i] ^= x[i - 1]
+        x[0] ^= t
+        # Undo excess work
+        q = 2
+        while q != top:
+            p = q - 1
+            for i in range(n - 1, -1, -1):
+                if x[i] & q:
+                    x[0] ^= p
+                else:
+                    t = (x[0] ^ x[i]) & p
+                    x[0] ^= t
+                    x[i] ^= t
+            q <<= 1
+        return x
+
+    # -- bit interleaving between transpose form and a single integer ------------
+
+    def _transpose_to_index(self, x: list) -> int:
+        index = 0
+        for bit in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                index = (index << 1) | ((x[i] >> bit) & 1)
+        return index
+
+    def _index_to_transpose(self, index: int) -> list:
+        x = [0] * self.dims
+        position = self.bits * self.dims - 1
+        for bit in range(self.bits - 1, -1, -1):
+            for i in range(self.dims):
+                x[i] |= ((index >> position) & 1) << bit
+                position -= 1
+        return x

@@ -1,0 +1,187 @@
+"""Landmark clustering: vectors, orderings and landmark numbers.
+
+Every node measures its RTT to a small set of landmark hosts
+"randomly scattered in the Internet".  The resulting *landmark
+vector* positions the node in an n-dimensional *landmark space*
+(Figure 7 of the paper); nodes close in the physical network land
+close in landmark space.  Three derived forms are used:
+
+* the raw **vector** -- used at rendezvous nodes to sort map entries
+  by proximity to a requester;
+* the **landmark order** -- the permutation of landmarks sorted by
+  increasing RTT; the (coarser) technique of Topologically-Aware CAN,
+  reproduced here as a baseline;
+* the **landmark number** -- a scalar obtained by binning the vector
+  onto a grid of ``2^(bits * index_dims)`` cells and threading a
+  Hilbert curve through the grid; closeness in landmark number
+  indicates physical closeness, and the number doubles as the DHT key
+  under which a node's soft-state is stored.
+
+Per the paper's appendix optimisation, only a few components of the
+vector (the *landmark vector index*, ``index_dims`` of them) feed the
+landmark number; the full vector is still carried in soft-state
+records for the final sort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.proximity.hilbert import HilbertCurve
+
+
+@dataclass
+class LandmarkSet:
+    """The chosen landmark hosts plus a normalisation bound."""
+
+    hosts: np.ndarray
+    #: RTT value mapped to the top edge of the landmark-space grid (ms)
+    max_rtt_ms: float
+
+    @property
+    def count(self) -> int:
+        return len(self.hosts)
+
+
+def select_landmarks(
+    network,
+    count: int,
+    rng: np.random.Generator,
+    stub_only: bool = False,
+    margin: float = 1.25,
+    strategy: str = "random",
+) -> LandmarkSet:
+    """Pick ``count`` landmark hosts from the topology.
+
+    Strategies (the paper uses ``random`` -- "randomly scattered in
+    the Internet"; the others exist for the placement ablation):
+
+    * ``random`` -- uniform over hosts;
+    * ``transit`` -- uniform over backbone (transit) nodes, modelling
+      landmarks hosted at well-connected infrastructure;
+    * ``spread`` -- greedy max-min latency separation (2-approximate
+      k-center): pick a random seed, then repeatedly add the host
+      farthest from the chosen set.  Separation costs extra
+      calibration probes, charged as usual.
+
+    The normalisation bound is estimated from the measured pairwise
+    landmark RTTs (times ``margin``), mirroring a deployment where the
+    landmarks calibrate the grid among themselves.
+    """
+    if count < 2:
+        raise ValueError("need at least two landmarks")
+    if strategy == "random":
+        hosts = network.sample_hosts(count, rng, stub_only=stub_only)
+    elif strategy == "transit":
+        pool = network.topology.transit_nodes()
+        if count > len(pool):
+            raise ValueError(f"only {len(pool)} transit nodes available")
+        hosts = rng.choice(pool, size=count, replace=False)
+    elif strategy == "spread":
+        # candidates: a modest random pool to keep probing realistic
+        pool = network.sample_hosts(
+            min(8 * count, len(network.topology.stub_nodes())), rng,
+            stub_only=stub_only,
+        )
+        chosen = [int(pool[int(rng.integers(0, len(pool)))])]
+        best_gap = {int(h): np.inf for h in pool}
+        while len(chosen) < count:
+            newest = chosen[-1]
+            farthest, farthest_gap = None, -1.0
+            for host in pool:
+                host = int(host)
+                if host in chosen:
+                    continue
+                rtt = network.rtt(newest, host, category="landmark_calibration")
+                best_gap[host] = min(best_gap[host], rtt)
+                if best_gap[host] > farthest_gap:
+                    farthest, farthest_gap = host, best_gap[host]
+            chosen.append(farthest)
+        hosts = np.asarray(chosen, dtype=np.int64)
+    else:
+        raise ValueError(f"unknown landmark strategy {strategy!r}")
+    max_rtt = 0.0
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            max_rtt = max(max_rtt, network.rtt(int(a), int(b), category="landmark_calibration"))
+    return LandmarkSet(hosts=hosts, max_rtt_ms=max_rtt * margin)
+
+
+def measure_vector(
+    network, host: int, landmarks: LandmarkSet, category: str = "landmark_probe"
+) -> np.ndarray:
+    """Measure ``host``'s landmark RTT vector (charged as probes)."""
+    return network.rtt_many(int(host), landmarks.hosts, category=category)
+
+
+def landmark_order(vector: np.ndarray) -> tuple:
+    """Landmark permutation sorted by increasing RTT (ties by index).
+
+    This is Topologically-Aware CAN's "landmark ordering": nodes with
+    equal permutations are deemed close; the technique cannot
+    differentiate nodes that share an ordering.
+    """
+    return tuple(int(i) for i in np.argsort(vector, kind="stable"))
+
+
+class LandmarkSpace:
+    """Landmark set + grid + Hilbert curve = landmark numbers.
+
+    Parameters
+    ----------
+    landmarks:
+        The landmark hosts and normalisation bound.
+    bits_per_dim:
+        Grid resolution ``x``: each landmark-space axis is cut into
+        ``2^x`` bins.  Smaller ``x`` makes it likelier that two nodes
+        share a landmark number (coarser clustering).
+    index_dims:
+        How many vector components feed the landmark number (the
+        *landmark vector index*); ``None`` uses min(4, n).
+    """
+
+    def __init__(
+        self,
+        landmarks: LandmarkSet,
+        bits_per_dim: int = 5,
+        index_dims: int = None,
+    ):
+        self.landmarks = landmarks
+        self.bits_per_dim = bits_per_dim
+        if index_dims is None:
+            index_dims = min(4, landmarks.count)
+        if not 1 <= index_dims <= landmarks.count:
+            raise ValueError("index_dims must be within [1, #landmarks]")
+        self.index_dims = index_dims
+        self.curve = HilbertCurve(bits=bits_per_dim, dims=index_dims)
+
+    @property
+    def total_bits(self) -> int:
+        """Bits in a landmark number."""
+        return self.bits_per_dim * self.index_dims
+
+    @property
+    def number_range(self) -> int:
+        """Exclusive upper bound on landmark numbers."""
+        return 1 << self.total_bits
+
+    def measure(self, network, host: int, category: str = "landmark_probe") -> np.ndarray:
+        """Measure a host's landmark vector (charged)."""
+        return measure_vector(network, host, self.landmarks, category)
+
+    def bin_vector(self, vector: np.ndarray) -> tuple:
+        """Grid cell of the vector's first ``index_dims`` components."""
+        side = 1 << self.bits_per_dim
+        scaled = np.asarray(vector[: self.index_dims]) / self.landmarks.max_rtt_ms
+        cells = np.clip((scaled * side).astype(np.int64), 0, side - 1)
+        return tuple(int(c) for c in cells)
+
+    def number(self, vector: np.ndarray) -> int:
+        """Landmark number: Hilbert index of the vector's grid cell."""
+        return self.curve.encode(self.bin_vector(vector))
+
+    def number_distance(self, a: int, b: int) -> int:
+        """1-D distance between landmark numbers (closeness proxy)."""
+        return abs(a - b)

@@ -1,0 +1,175 @@
+"""§5.4 refinements: closing the second performance gap.
+
+The paper lists three optimizations for the proximity-generation gap
+("additional optimizations can only improve this second gap"), all
+implemented here:
+
+* **Landmark groups** (:class:`LandmarkGroups`) -- "divide a large
+  number of landmarks into groups, and each node computes a set of
+  landmark positions.  All these positions are then joined together
+  to reduce false clustering."  A candidate only ranks as close if it
+  is close in *every* group (max-over-groups distance), so a single
+  group's false clustering cannot promote a far-away node.
+* **Hierarchical landmark spaces** (:class:`HierarchicalLandmarks`) --
+  "a small number of widely scattered landmarks are used to do a
+  preselection, and localized landmarks are then used to refine the
+  result."  Global distance buckets pre-select; candidates sharing
+  the querier's coarse bucket are re-ranked by distance to a set of
+  *local* landmarks (placed per transit domain, the natural locality
+  unit of a transit-stub internet).
+* **SVD de-noising** (:class:`SvdProjector`) -- "use a large number of
+  randomly selected landmarks and then rely on classical data analysis
+  techniques such as Singular Value Decomposition to extract useful
+  information from the large number of RTTs and to suppress noises."
+  Vectors are centered and projected onto the top singular directions
+  before ranking.  (The paper's follow-on idea of training a neural
+  network on top of the SVD features is out of scope; the linear
+  projection is the load-bearing part.)
+
+All three expose ``rank(query_vector, candidate_vectors) -> order``,
+interchangeable with :func:`repro.proximity.hybrid.rank_candidates`
+in the hybrid search; the ablation bench compares them under noisy
+latencies where plain ranking degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.proximity.landmarks import LandmarkSet, select_landmarks
+
+
+class LandmarkGroups:
+    """Joint ranking over several independent landmark groups."""
+
+    def __init__(self, groups):
+        """``groups``: per-group index arrays into the full vector."""
+        self.groups = [np.asarray(g, dtype=np.int64) for g in groups]
+        if not self.groups:
+            raise ValueError("need at least one group")
+
+    @classmethod
+    def split(cls, num_landmarks: int, num_groups: int) -> "LandmarkGroups":
+        """Partition ``num_landmarks`` landmarks into equal groups."""
+        if num_groups < 1 or num_groups > num_landmarks:
+            raise ValueError("need 1 <= num_groups <= num_landmarks")
+        return cls(np.array_split(np.arange(num_landmarks), num_groups))
+
+    def rank(self, query_vector, candidate_vectors) -> np.ndarray:
+        """Order by the worst (max) per-group distance -- a candidate
+        must look close in every group to rank high."""
+        query_vector = np.asarray(query_vector, dtype=np.float64)
+        candidate_vectors = np.asarray(candidate_vectors, dtype=np.float64)
+        per_group = []
+        for group in self.groups:
+            diff = candidate_vectors[:, group] - query_vector[group]
+            # normalize by group size so groups weigh equally
+            per_group.append(np.linalg.norm(diff, axis=1) / np.sqrt(len(group)))
+        worst = np.max(per_group, axis=0)
+        return np.argsort(worst, kind="stable")
+
+
+class HierarchicalLandmarks:
+    """Coarse global pre-selection refined by localized landmarks."""
+
+    def __init__(self, network, global_count: int = 5, local_count: int = 3,
+                 bucket_ms: float = 40.0, rng=None):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.network = network
+        self.bucket_ms = bucket_ms
+        self.global_set = select_landmarks(network, global_count, rng)
+        # localized landmarks: a few per transit domain, drawn from that
+        # domain's stub nodes
+        topo = network.topology
+        self.local_sets: dict = {}
+        for domain in range(topo.config.transit_domains):
+            pool = np.flatnonzero(
+                (topo.transit_domain == domain) & (topo.stub_domain >= 0)
+            )
+            if len(pool) == 0:
+                continue
+            picks = rng.choice(pool, size=min(local_count, len(pool)), replace=False)
+            self.local_sets[domain] = LandmarkSet(
+                hosts=picks, max_rtt_ms=self.global_set.max_rtt_ms
+            )
+
+    def measure(self, host: int, charge_category: str = "landmark_probe"):
+        """(global vector, {domain: local vector}) for ``host``.
+
+        Every node measures the global set plus each domain's local
+        set it can see; in a deployment the local measurement happens
+        on demand against the candidate's home landmarks.
+        """
+        global_vector = self.network.rtt_many(
+            int(host), self.global_set.hosts, category=charge_category
+        )
+        local_vectors = {
+            domain: self.network.rtt_many(
+                int(host), local.hosts, category=charge_category
+            )
+            for domain, local in self.local_sets.items()
+        }
+        return global_vector, local_vectors
+
+    def rank(self, query, candidates) -> np.ndarray:
+        """``query``/``candidates[i]`` are ``measure()`` outputs.
+
+        Sort key: (coarse global-distance bucket, refined local
+        distance within the best-matching domain, fine global
+        distance).
+        """
+        q_global, q_locals = query
+        keys = []
+        for c_global, c_locals in candidates:
+            global_distance = float(np.linalg.norm(
+                np.asarray(c_global) - np.asarray(q_global)
+            ))
+            bucket = int(global_distance // self.bucket_ms)
+            local_distance = min(
+                (
+                    float(np.linalg.norm(
+                        np.asarray(c_locals[d]) - np.asarray(q_locals[d])
+                    ))
+                    for d in q_locals
+                    if d in c_locals
+                ),
+                default=global_distance,
+            )
+            keys.append((bucket, local_distance, global_distance))
+        return np.asarray(
+            sorted(range(len(keys)), key=lambda i: keys[i]), dtype=np.int64
+        )
+
+
+class SvdProjector:
+    """Rank in the top-k singular subspace of the landmark vectors."""
+
+    def __init__(self, components: int = 5):
+        if components < 1:
+            raise ValueError("components must be >= 1")
+        self.components = components
+        self.mean_: np.ndarray = None
+        self.basis_: np.ndarray = None
+
+    def fit(self, vectors) -> "SvdProjector":
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.shape[0] <= self.components:
+            raise ValueError("need more sample vectors than components")
+        self.mean_ = vectors.mean(axis=0)
+        _u, _s, vt = np.linalg.svd(vectors - self.mean_, full_matrices=False)
+        self.basis_ = vt[: self.components].T  # (landmarks, components)
+        return self
+
+    def transform(self, vectors) -> np.ndarray:
+        if self.basis_ is None:
+            raise RuntimeError("fit must run first")
+        vectors = np.asarray(vectors, dtype=np.float64)
+        return (vectors - self.mean_) @ self.basis_
+
+    def rank(self, query_vector, candidate_vectors) -> np.ndarray:
+        query = self.transform(np.asarray(query_vector)[None, :])[0]
+        projected = self.transform(candidate_vectors)
+        return np.argsort(
+            np.linalg.norm(projected - query, axis=1), kind="stable"
+        )

@@ -1,0 +1,111 @@
+"""Soft-state maintenance policies (§5.2 of the paper).
+
+The global state can be maintained lazily; the paper sketches three
+points on the spectrum, all implemented here:
+
+* **reactive** -- "departed nodes are deleted from the global state
+  only when they are selected as routing neighbor replacements and
+  later found un-reachable": callers report a failed use via
+  :meth:`MaintenanceDriver.on_failed_use` and the dead record is
+  purged then.
+* **periodic** -- "each owner of the map information can periodically
+  poll the liveliness of the nodes": a clock-driven sweep that pings
+  every recorded node (one charged probe each) and purges the dead.
+* **proactive** -- "update the map when a node is about to depart":
+  graceful departures withdraw their own records.
+
+Independent of the policy, records lease-expire through
+:meth:`SoftStateStore.expire_stale`, which the driver also runs on
+its sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.softstate.store import SoftStateStore
+
+
+class MaintenancePolicy(enum.Enum):
+    REACTIVE = "reactive"
+    PERIODIC = "periodic"
+    PROACTIVE = "proactive"
+
+
+class MaintenanceDriver:
+    """Applies one maintenance policy to a soft-state store."""
+
+    def __init__(
+        self,
+        store: SoftStateStore,
+        ecan,
+        network,
+        policy: MaintenancePolicy = MaintenancePolicy.PROACTIVE,
+        poll_interval: float = 60.0,
+    ):
+        self.store = store
+        self.ecan = ecan
+        self.network = network
+        self.policy = policy
+        self.poll_interval = poll_interval
+        self._timer = None
+        self.purged = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic sweep (no-op for the other policies)."""
+        if self.policy is MaintenancePolicy.PERIODIC and self._timer is None:
+            self._timer = self.network.clock.schedule_every(
+                self.poll_interval, self.poll_once
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- policy entry points ---------------------------------------------------
+
+    def on_failed_use(self, node_id: int) -> int:
+        """A neighbor selection / forwarding found ``node_id`` dead."""
+        if self.policy is not MaintenancePolicy.REACTIVE:
+            return 0
+        removed = self.store.purge_record(node_id, charge=True)
+        self.purged += removed
+        return removed
+
+    def on_departure(self, node_id: int, graceful: bool = True) -> int:
+        """Node is leaving; proactive policy withdraws its records."""
+        if self.policy is MaintenancePolicy.PROACTIVE and graceful:
+            removed = self.store.withdraw(node_id, charge=True)
+            self.purged += removed
+            return removed
+        return 0
+
+    def poll_once(self) -> int:
+        """One polling sweep: ping every recorded node, purge the dead."""
+        dead = set()
+        pings = 0
+        for region, bucket in list(self.store.maps.items()):
+            for node_id in list(bucket):
+                pings += 1
+                if node_id not in self.ecan.can.nodes:
+                    dead.add(node_id)
+        self.network.stats.count("maintenance_ping", pings)
+        removed = 0
+        for node_id in dead:
+            removed += self.store.purge_record(node_id, charge=False)
+        removed += self.store.expire_stale()
+        self.purged += removed
+        return removed
+
+    def stale_entries(self) -> int:
+        """Records in the maps whose nodes are no longer overlay members."""
+        alive = self.ecan.can.nodes
+        return sum(
+            1
+            for bucket in self.store.maps.values()
+            for node_id in bucket
+            if node_id not in alive
+        )

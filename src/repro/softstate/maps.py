@@ -1,0 +1,95 @@
+"""Regions, map placement and the condense rate.
+
+A *region* is a high-order zone of the eCAN (a quadtree cell; for
+Pastry it would be a node-id prefix).  One proximity map exists per
+region and is stored *on the nodes of that region*.
+
+Placement uses the paper's hash ``p' = h(p, dp, dz, z)``: the
+landmark number -- itself a Hilbert index over the (binned) landmark
+space -- is re-expanded through a ``dz``-dimensional Hilbert curve
+into a position inside the region, so nodes with close landmark
+numbers are recorded at nearby positions, i.e. usually on the same
+hosting node.
+
+The *condense rate* is the ratio of the map's footprint to the
+region's size: positions are squeezed into a sub-box anchored at the
+region's lower corner whose volume is ``condense_rate`` of the
+region.  A small rate concentrates the whole map on one or two nodes
+(cheap lookup, more entries per node); rate 1 spreads it across the
+region (Figure 16 sweeps this trade-off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.overlay.zone import Zone, cell_zone
+from repro.proximity.hilbert import HilbertCurve
+
+
+@dataclass(frozen=True)
+class Region:
+    """A high-order zone: quadtree ``cell`` at ``level``."""
+
+    level: int
+    cell: tuple
+
+    @property
+    def dims(self) -> int:
+        return len(self.cell)
+
+    def zone(self) -> Zone:
+        return cell_zone(self.cell, self.level)
+
+    def contains_point(self, point) -> bool:
+        return self.zone().contains(point)
+
+    def parent(self) -> "Region":
+        if self.level == 0:
+            raise ValueError("the root region has no parent")
+        return Region(self.level - 1, tuple(c >> 1 for c in self.cell))
+
+
+def regions_of_zone(zone: Zone) -> list:
+    """All regions (high-order zones) that enclose ``zone``.
+
+    A node appears in the map of every region returned here -- at
+    most ``log N`` of them, as the paper notes.
+    """
+    return [Region(level, zone.cell(level)) for level in range(1, zone.max_level + 1)]
+
+
+@lru_cache(maxsize=64)
+def _expansion_curve(total_bits: int, dims: int) -> HilbertCurve:
+    bits_per_dim = max(1, math.ceil(total_bits / dims))
+    return HilbertCurve(bits=bits_per_dim, dims=dims)
+
+
+def map_position(
+    landmark_number: int,
+    total_bits: int,
+    region: Region,
+    condense_rate: float = 1.0,
+) -> tuple:
+    """Position inside ``region`` at which a record is stored.
+
+    ``landmark_number`` is a Hilbert index of ``total_bits`` bits;
+    it is scaled onto a region-dimensional Hilbert curve (preserving
+    order, hence locality), decoded to a point of the unit cube, then
+    squeezed into the condensed sub-box of the region.
+    """
+    if not 0 < condense_rate <= 1.0:
+        raise ValueError("condense_rate must be in (0, 1]")
+    dims = region.dims
+    curve = _expansion_curve(total_bits, dims)
+    shift = curve.bits * dims - total_bits
+    index = landmark_number << shift if shift >= 0 else landmark_number >> -shift
+    unit = curve.decode_center(index)
+    side_fraction = condense_rate ** (1.0 / dims)
+    zone = region.zone()
+    return tuple(
+        lo + (hi - lo) * side_fraction * u
+        for lo, hi, u in zip(zone.lo, zone.hi, unit)
+    )

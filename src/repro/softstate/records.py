@@ -1,0 +1,47 @@
+"""Soft-state records.
+
+A record is what a node publishes about itself into the proximity
+maps: identity, physical host, landmark vector and number, and --
+for the §6 extension -- capacity and current load.  Records are
+*soft*: they carry an expiry time and survive only while their owner
+keeps refreshing them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class NodeRecord:
+    """Self-description a node stores in the global soft-state."""
+
+    node_id: int
+    host: int
+    landmark_vector: tuple
+    landmark_number: int
+    capacity: float = 1.0
+    load: float = 0.0
+    published_at: float = 0.0
+    expires_at: float = math.inf
+    #: extension point for additional published statistics (§6)
+    extra: dict = field(default_factory=dict)
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of forwarding capacity currently in use."""
+        if self.capacity <= 0:
+            return math.inf
+        return self.load / self.capacity
+
+    def refreshed(self, now: float, ttl: float) -> "NodeRecord":
+        """Copy with a renewed lease."""
+        return replace(self, published_at=now, expires_at=now + ttl)
+
+    def with_load(self, load: float) -> "NodeRecord":
+        """Copy with updated load statistics."""
+        return replace(self, load=load)

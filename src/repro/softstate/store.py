@@ -1,0 +1,364 @@
+"""The distributed soft-state store.
+
+For every high-order zone (region) of the overlay there is one
+proximity map containing a record per member node, placed inside the
+region by :func:`repro.softstate.maps.map_position`.  Because a
+record's location is a *function of the current zone tessellation*,
+zone handover during churn implicitly migrates the hosted records,
+exactly as objects move with zones in a real CAN.
+
+Costs are accounted faithfully:
+
+* ``softstate_publish`` -- overlay hops spent routing a record to its
+  position, once per enclosing region;
+* ``softstate_lookup`` -- hops of the Table-1 lookup, plus one message
+  per extra node visited while widening an empty shard;
+* ``softstate_withdraw`` / ``softstate_load_update`` -- analogous.
+
+The store emits :class:`MapEvent` callbacks on every mutation; the
+publish/subscribe layer listens to these.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.softstate.maps import Region, map_position, regions_of_zone
+from repro.softstate.records import NodeRecord
+
+
+class EventKind(enum.Enum):
+    NODE_JOINED = "node_joined"
+    NODE_LEFT = "node_left"
+    LOAD_UPDATED = "load_updated"
+    RECORD_EXPIRED = "record_expired"
+
+
+@dataclass(frozen=True)
+class MapEvent:
+    """A mutation of one region's proximity map."""
+
+    kind: EventKind
+    region: Region
+    record: NodeRecord
+
+
+@dataclass
+class StoredRecord:
+    record: NodeRecord
+    position: tuple
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a map lookup (Table 1 of the paper)."""
+
+    records: list
+    #: overlay node that served the request
+    served_by: int = None
+    #: how many widening hops were needed beyond the first shard
+    widened: int = 0
+
+
+class SoftStateStore:
+    """Publish / lookup / withdraw over the overlay's proximity maps."""
+
+    def __init__(
+        self,
+        ecan,
+        network,
+        space,
+        condense_rate: float = 1.0 / 16.0,
+        record_ttl: float = math.inf,
+        max_results: int = 16,
+        widen_ttl: int = 2,
+    ):
+        self.ecan = ecan
+        self.network = network
+        self.space = space
+        self.condense_rate = condense_rate
+        self.record_ttl = record_ttl
+        self.max_results = max_results
+        self.widen_ttl = widen_ttl
+        #: region -> {node_id -> StoredRecord}
+        self.maps: dict = {}
+        #: node_id -> its own NodeRecord (identity registry)
+        self.registry: dict = {}
+        #: node_id -> set of regions currently holding its record
+        self._published: dict = {}
+        #: event hooks: callables taking a MapEvent
+        self.hooks: list = []
+        # A zone split/merge changes which regions enclose a node, so the
+        # owner re-publishes to keep map placement current (it performed
+        # the split itself, so it knows immediately).
+        ecan.can.observers.append(self._on_zone_event)
+
+    def _on_zone_event(self, event: str, node_id: int) -> None:
+        if event == "zone_change" and node_id in self.registry:
+            self.publish(node_id)
+
+    # -- internals ---------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.network.clock
+
+    def _emit(self, kind: EventKind, region: Region, record: NodeRecord) -> None:
+        event = MapEvent(kind, region, record)
+        for hook in self.hooks:
+            hook(event)
+
+    def _charge_route(self, src_node: int, position, category: str) -> int:
+        """Route an overlay message and return the serving node."""
+        if src_node in self.ecan.can.nodes:
+            result = self.ecan.route(src_node, position, category=category)
+            if result.success:
+                return result.owner
+        # degraded path: the message is delivered by direct owner lookup
+        # (models retry through a bootstrap node); charge a single hop.
+        self.network.stats.count(category)
+        return self.ecan.can.owner_of_point(position)
+
+    def position_of(self, record: NodeRecord, region: Region) -> tuple:
+        return map_position(
+            record.landmark_number, self.space.total_bits, region, self.condense_rate
+        )
+
+    def hosting_node(self, region: Region, node_id: int) -> int:
+        """Overlay node currently hosting ``node_id``'s record in ``region``."""
+        stored = self.maps[region][node_id]
+        return self.ecan.can.owner_of_point(stored.position)
+
+    # -- identity ------------------------------------------------------------
+
+    def register_identity(
+        self, node_id: int, host: int, landmark_vector, capacity: float = 1.0
+    ) -> NodeRecord:
+        """Create (without publishing) a node's own record."""
+        vector = tuple(float(x) for x in landmark_vector)
+        record = NodeRecord(
+            node_id=node_id,
+            host=host,
+            landmark_vector=vector,
+            landmark_number=self.space.number(np.asarray(vector)),
+            capacity=capacity,
+            published_at=self.clock.now,
+            expires_at=self.clock.now + self.record_ttl,
+        )
+        self.registry[node_id] = record
+        return record
+
+    # -- publish / withdraw -----------------------------------------------------
+
+    def current_regions(self, node_id: int) -> list:
+        """Regions whose maps should hold ``node_id``'s record now."""
+        node = self.ecan.can.nodes.get(node_id)
+        if node is None:
+            return []
+        regions = []
+        for zone in node.zones:
+            regions.extend(regions_of_zone(zone))
+        return regions
+
+    def publish(self, node_id: int, charge: bool = True) -> int:
+        """Insert/refresh the node's record in all enclosing region maps.
+
+        Returns the number of regions written.  Also reconciles stale
+        placements: maps of regions that no longer enclose the node's
+        zone are cleaned up.
+        """
+        record = self.registry.get(node_id)
+        if record is None:
+            raise KeyError(f"node {node_id} has no registered identity")
+        record = record.refreshed(self.clock.now, self.record_ttl)
+        self.registry[node_id] = record
+
+        wanted = set(self.current_regions(node_id))
+        have = self._published.get(node_id, set())
+        for region in have - wanted:
+            self._remove_from(region, node_id, EventKind.NODE_LEFT, charge=False)
+        for region in sorted(wanted, key=lambda r: r.level):
+            position = self.position_of(record, region)
+            bucket = self.maps.setdefault(region, {})
+            fresh = node_id not in bucket
+            bucket[node_id] = StoredRecord(record=record, position=position)
+            if charge:
+                self._charge_route(node_id, position, "softstate_publish")
+            if fresh:
+                self._emit(EventKind.NODE_JOINED, region, record)
+        self._published[node_id] = wanted
+        return len(wanted)
+
+    def withdraw(self, node_id: int, charge: bool = True) -> int:
+        """Remove the node's record from every map (proactive departure)."""
+        regions = self._published.pop(node_id, set())
+        for region in regions:
+            if charge:
+                self.network.stats.count("softstate_withdraw")
+            self._remove_from(region, node_id, EventKind.NODE_LEFT, charge=False)
+        self.registry.pop(node_id, None)
+        return len(regions)
+
+    def purge_record(self, node_id: int, charge: bool = True) -> int:
+        """Drop a (dead) node's records, e.g. on reactive maintenance."""
+        regions = self._published.pop(node_id, set())
+        removed = 0
+        for region in list(regions):
+            removed += self._remove_from(
+                region, node_id, EventKind.RECORD_EXPIRED, charge=charge
+            )
+        self.registry.pop(node_id, None)
+        return removed
+
+    def _remove_from(
+        self, region: Region, node_id: int, kind: EventKind, charge: bool
+    ) -> int:
+        bucket = self.maps.get(region)
+        if bucket is None:
+            return 0
+        stored = bucket.pop(node_id, None)
+        if stored is None:
+            return 0
+        if not bucket:
+            del self.maps[region]
+        if charge:
+            self.network.stats.count("softstate_withdraw")
+        self._emit(kind, region, stored.record)
+        return 1
+
+    def update_load(self, node_id: int, load: float, charge: bool = True) -> None:
+        """Publish fresh load statistics to every map holding the node."""
+        record = self.registry.get(node_id)
+        if record is None:
+            raise KeyError(f"node {node_id} has no registered identity")
+        record = record.with_load(load)
+        self.registry[node_id] = record
+        for region in self._published.get(node_id, ()):
+            bucket = self.maps.get(region, {})
+            stored = bucket.get(node_id)
+            if stored is None:
+                continue
+            stored.record = record
+            if charge:
+                self.network.stats.count("softstate_load_update")
+            self._emit(EventKind.LOAD_UPDATED, region, record)
+
+    # -- expiry -----------------------------------------------------------------
+
+    def expire_stale(self) -> int:
+        """Drop every record whose lease has lapsed (soft-state decay)."""
+        now = self.clock.now
+        removed = 0
+        for region in list(self.maps):
+            bucket = self.maps[region]
+            for node_id in [n for n, s in bucket.items() if s.record.is_expired(now)]:
+                self._published.get(node_id, set()).discard(region)
+                removed += self._remove_from(
+                    region, node_id, EventKind.RECORD_EXPIRED, charge=False
+                )
+        return removed
+
+    # -- lookup (the paper's Table 1) ----------------------------------------------
+
+    def lookup(
+        self,
+        querier_id: int,
+        region: Region,
+        query_vector=None,
+        max_results: int = None,
+        charge: bool = True,
+    ) -> LookupResult:
+        """Find the closest candidates to ``querier_id`` in ``region``.
+
+        Procedure: map the querier's landmark number into the region,
+        route there, read the map entries hosted by the serving node;
+        if that shard is empty, widen ring by ring over the region's
+        nodes up to ``widen_ttl`` hops.  The serving node sorts the
+        entries by full-landmark-vector distance and returns the top
+        ``max_results``.
+        """
+        if max_results is None:
+            max_results = self.max_results
+        if query_vector is None:
+            own = self.registry.get(querier_id)
+            if own is None:
+                raise KeyError(f"querier {querier_id} has no registered identity")
+            query_vector = own.landmark_vector
+        query_vector = np.asarray(query_vector, dtype=np.float64)
+        query_number = self.space.number(query_vector)
+
+        position = map_position(
+            query_number, self.space.total_bits, region, self.condense_rate
+        )
+        category = "softstate_lookup" if charge else None
+        if charge:
+            served_by = self._charge_route(querier_id, position, category)
+        else:
+            served_by = self.ecan.can.owner_of_point(position)
+
+        bucket = self.maps.get(region, {})
+        hosted_by: dict = {}
+        for node_id, stored in bucket.items():
+            owner = self.ecan.can.owner_of_point(stored.position)
+            hosted_by.setdefault(owner, []).append(stored.record)
+
+        collected = list(hosted_by.get(served_by, ()))
+        widened = 0
+        if not collected:
+            # widen within the region, ring by ring over CAN neighbors
+            region_zone = region.zone()
+            visited = {served_by}
+            frontier = [served_by]
+            while not collected and widened < self.widen_ttl and frontier:
+                widened += 1
+                next_frontier = []
+                for node_id in frontier:
+                    node = self.ecan.can.nodes.get(node_id)
+                    if node is None:
+                        continue
+                    for neighbor_id in sorted(node.neighbors):
+                        if neighbor_id in visited:
+                            continue
+                        neighbor = self.ecan.can.nodes[neighbor_id]
+                        inside = any(
+                            all(
+                                zl < h and l < zh
+                                for zl, zh, l, h in zip(
+                                    z.lo, z.hi, region_zone.lo, region_zone.hi
+                                )
+                            )
+                            for z in neighbor.zones
+                        )
+                        if not inside:
+                            continue
+                        visited.add(neighbor_id)
+                        next_frontier.append(neighbor_id)
+                        if charge:
+                            self.network.stats.count("softstate_lookup")
+                        collected.extend(hosted_by.get(neighbor_id, ()))
+                frontier = next_frontier
+
+        collected = [r for r in collected if r.node_id != querier_id]
+        if collected:
+            vectors = np.array([r.landmark_vector for r in collected])
+            order = np.argsort(np.linalg.norm(vectors - query_vector, axis=1), kind="stable")
+            collected = [collected[i] for i in order[:max_results]]
+        return LookupResult(records=collected, served_by=served_by, widened=widened)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def entries_per_node(self) -> dict:
+        """Map entries hosted per overlay node (Figure 16's dashed line)."""
+        counts: dict = {}
+        for region, bucket in self.maps.items():
+            for stored in bucket.values():
+                owner = self.ecan.can.owner_of_point(stored.position)
+                counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
+    def total_entries(self) -> int:
+        return sum(len(bucket) for bucket in self.maps.values())

@@ -1,0 +1,9 @@
+"""Workload generation for experiments and benches."""
+
+from repro.workloads.generator import (
+    random_pairs,
+    uniform_points,
+    zipf_points,
+)
+
+__all__ = ["random_pairs", "uniform_points", "zipf_points"]

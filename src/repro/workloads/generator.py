@@ -1,0 +1,50 @@
+"""Synthetic workloads.
+
+The paper's evaluation workload is simple -- "measurements are made
+for twice the number of nodes in the overlay", i.e. 2N routes between
+random member pairs -- but the examples and ablation benches also use
+skewed key popularity to exercise load imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_pairs(node_ids, count: int, rng: np.random.Generator) -> list:
+    """``count`` ordered (src, dst) pairs of distinct members."""
+    ids = np.asarray(list(node_ids))
+    if len(ids) < 2:
+        raise ValueError("need at least two nodes for pair workloads")
+    pairs = []
+    for _ in range(count):
+        src, dst = rng.choice(ids, size=2, replace=False)
+        pairs.append((int(src), int(dst)))
+    return pairs
+
+
+def uniform_points(count: int, dims: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random lookup keys (points of the unit cube)."""
+    return rng.random((count, dims))
+
+
+def zipf_points(
+    count: int,
+    dims: int,
+    rng: np.random.Generator,
+    distinct: int = 64,
+    exponent: float = 1.1,
+) -> np.ndarray:
+    """Zipf-popular lookup keys over ``distinct`` hot points.
+
+    Rank ``k`` is drawn with probability proportional to
+    ``k**-exponent`` -- a convenient stand-in for skewed object
+    popularity when exercising forwarding-load imbalance.
+    """
+    if distinct < 1:
+        raise ValueError("distinct must be >= 1")
+    hot = rng.random((distinct, dims))
+    weights = 1.0 / np.arange(1, distinct + 1) ** exponent
+    weights /= weights.sum()
+    choices = rng.choice(distinct, size=count, p=weights)
+    return hot[choices]

@@ -1,0 +1,187 @@
+"""Chord ring mechanics: arithmetic, membership, fingers, routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.ring import ChordRing, distance_cw, in_interval
+
+
+def build_ring(n: int, bits: int = 12, seed: int = 0) -> ChordRing:
+    ring = ChordRing(bits=bits, rng=np.random.default_rng(seed))
+    for i in range(n):
+        ring.join(host=1000 + i)
+    return ring
+
+
+class TestArithmetic:
+    def test_distance_cw(self):
+        assert distance_cw(2, 5, 16) == 3
+        assert distance_cw(5, 2, 16) == 13
+        assert distance_cw(7, 7, 16) == 0
+
+    def test_in_interval_plain(self):
+        assert in_interval(3, 2, 5, 16)
+        assert not in_interval(5, 2, 5, 16)  # half-open
+        assert in_interval(2, 2, 5, 16)
+
+    def test_in_interval_wrapping(self):
+        assert in_interval(1, 14, 3, 16)
+        assert in_interval(15, 14, 3, 16)
+        assert not in_interval(5, 14, 3, 16)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_membership_partition(self, x, lo, hi):
+        """x is in exactly one of [lo, hi) and [hi, lo) unless lo == hi."""
+        if lo == hi:
+            assert not in_interval(x, lo, hi, 256)
+        else:
+            assert in_interval(x, lo, hi, 256) != in_interval(x, hi, lo, 256)
+
+
+class TestMembership:
+    def test_join_assigns_unique_ids(self):
+        ring = build_ring(50)
+        assert len(ring) == 50
+        assert len(set(ring.members())) == 50
+
+    def test_explicit_id(self):
+        ring = ChordRing(bits=8, rng=np.random.default_rng(1))
+        ring.join(host=1, node_id=42)
+        assert 42 in ring
+        with pytest.raises(ValueError):
+            ring.join(host=2, node_id=42)
+
+    def test_successor_of_wraps(self):
+        ring = ChordRing(bits=8, rng=np.random.default_rng(1))
+        for node_id in (10, 100, 200):
+            ring.join(host=node_id, node_id=node_id)
+        assert ring.successor_of(5) == 10
+        assert ring.successor_of(10) == 10
+        assert ring.successor_of(150) == 200
+        assert ring.successor_of(201) == 10  # wrap
+
+    def test_successor_predecessor_cycle(self):
+        ring = build_ring(20)
+        members = ring.members()
+        for node_id in members:
+            succ = ring.successor(node_id)
+            assert ring.predecessor(succ) == node_id
+
+    def test_interval_members(self):
+        ring = ChordRing(bits=8, rng=np.random.default_rng(1))
+        for node_id in (10, 100, 200):
+            ring.join(host=node_id, node_id=node_id)
+        assert ring.interval_members(5, 150) == [10, 100]
+        assert ring.interval_members(150, 50) == [200, 10]  # wrapping
+        assert ring.interval_members(30, 30) == []
+
+    def test_leave(self):
+        ring = build_ring(10)
+        victim = ring.members()[3]
+        ring.leave(victim)
+        assert victim not in ring
+        assert len(ring) == 9
+        with pytest.raises(KeyError):
+            ring.leave(victim)
+
+    def test_empty_ring_operations(self):
+        ring = ChordRing(bits=8)
+        with pytest.raises(RuntimeError):
+            ring.successor_of(3)
+        with pytest.raises(RuntimeError):
+            ring.random_member()
+
+
+class TestFingers:
+    def test_vanilla_fingers_are_interval_successors(self):
+        ring = build_ring(64, seed=2)
+        node_id = ring.members()[0]
+        ring.build_fingers(node_id)
+        for index, entry in ring.nodes[node_id].fingers.items():
+            lo, hi = ring.finger_interval(node_id, index)
+            assert in_interval(entry, lo, hi, ring.space)
+            # successor policy: first member of the interval
+            members = ring.interval_members(lo, hi)
+            assert entry == members[0] if members[0] != node_id else True
+
+    def test_finger_repairs_after_leave(self):
+        ring = build_ring(64, seed=3)
+        node_id = ring.members()[0]
+        ring.build_fingers(node_id)
+        index, victim = next(iter(ring.nodes[node_id].fingers.items()))
+        if victim != node_id:
+            ring.leave(victim)
+            repaired = ring.finger(node_id, index)
+            assert repaired is None or repaired in ring.nodes
+
+    def test_empty_interval_has_no_finger(self):
+        ring = ChordRing(bits=8, rng=np.random.default_rng(1))
+        ring.join(host=1, node_id=0)
+        ring.join(host=2, node_id=128)
+        ring.build_fingers(0)
+        # interval [1, 2) etc. are empty; only the half-ring finger exists
+        assert set(ring.nodes[0].fingers.values()) == {128}
+
+
+class TestRouting:
+    def test_route_reaches_owner(self):
+        ring = build_ring(100, seed=5)
+        rng = np.random.default_rng(7)
+        for _ in range(80):
+            start = ring.random_member()
+            key = int(rng.integers(0, ring.space))
+            result = ring.route(start, key)
+            assert result.success
+            assert result.owner == ring.successor_of(key)
+
+    def test_route_to_own_key(self):
+        ring = build_ring(20, seed=5)
+        node_id = ring.members()[4]
+        result = ring.route(node_id, node_id)
+        assert result.owner == node_id
+
+    def test_single_node_ring(self):
+        ring = build_ring(1)
+        only = ring.members()[0]
+        result = ring.route(only, 12345 % ring.space)
+        assert result.owner == only
+
+    def test_logarithmic_hops(self):
+        rng = np.random.default_rng(9)
+        means = {}
+        for n in (32, 256):
+            ring = build_ring(n, bits=14, seed=6)
+            hops = []
+            for _ in range(60):
+                result = ring.route(ring.random_member(), int(rng.integers(0, ring.space)))
+                hops.append(result.hops)
+            means[n] = np.mean(hops)
+        assert means[256] < means[32] * 2.2  # ~log growth, not linear
+
+    def test_routing_after_churn(self):
+        ring = build_ring(80, seed=8)
+        rng = np.random.default_rng(3)
+        for victim in ring.members()[::3]:
+            ring.leave(victim)
+        for i in range(20):
+            ring.join(host=5000 + i)
+        for _ in range(50):
+            result = ring.route(ring.random_member(), int(rng.integers(0, ring.space)))
+            assert result.success
+
+    def test_unknown_start(self):
+        ring = build_ring(5)
+        with pytest.raises(KeyError):
+            ring.route(10 ** 9, 0)
+
+    def test_route_counts_messages(self, tiny_network):
+        ring = ChordRing(bits=12, network=tiny_network,
+                         rng=np.random.default_rng(1), stats=tiny_network.stats)
+        for i in range(30):
+            ring.join(host=i)
+        before = tiny_network.stats.snapshot()
+        result = ring.route(ring.random_member(), 99, category="probe_route")
+        assert tiny_network.stats.delta(before).get("probe_route", 0) == result.hops

@@ -1,0 +1,58 @@
+"""Shared fixtures: tiny deterministic networks and overlays.
+
+Topology generation is cheap at test scale but Dijkstra row caches are
+per-Network, so topologies are memoised at session scope while
+Network instances are function-scoped (tests freely mutate stats and
+clocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    GeneratedLatencyModel,
+    ManualLatencyModel,
+    Network,
+    TransitStubConfig,
+    generate_transit_stub,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_topology():
+    """~120-node transit-stub graph shared by the whole session."""
+    return generate_transit_stub(TransitStubConfig.tsk_large(0.25), seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """~800-node graph for tests that need room (overlays, searches)."""
+    return generate_transit_stub(TransitStubConfig.tsk_large(0.5), seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_topology_dense():
+    """tsk-small flavour (few transit domains, big stubs)."""
+    return generate_transit_stub(TransitStubConfig.tsk_small(0.5), seed=7)
+
+
+@pytest.fixture
+def tiny_network(tiny_topology):
+    return Network(tiny_topology, ManualLatencyModel())
+
+
+@pytest.fixture
+def tiny_network_generated(tiny_topology):
+    return Network(tiny_topology, GeneratedLatencyModel())
+
+
+@pytest.fixture
+def small_network(small_topology):
+    return Network(small_topology, ManualLatencyModel())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,41 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "fig16" in out and "qos" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_scale_flag_sets_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        import os
+
+        main(["--scale", "quick", "list"])
+        assert os.environ["REPRO_SCALE"] == "quick"
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "mean routing stretch" in out
+
+    def test_run_single_figure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(["run", "gaps"]) == 0
+        out = capsys.readouterr().out
+        assert "softstate_stretch" in out

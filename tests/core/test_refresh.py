@@ -1,0 +1,79 @@
+"""The soft-state refresh loop: leases, decay, refresh traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core import OverlayParams, TopologyAwareOverlay
+from repro.netsim import ManualLatencyModel, Network
+
+
+def build(topology, ttl, n=24, seed=6):
+    network = Network(topology, ManualLatencyModel())
+    overlay = TopologyAwareOverlay(
+        network,
+        OverlayParams(
+            num_nodes=n, policy="softstate", landmarks=5, record_ttl=ttl, seed=seed
+        ),
+    )
+    overlay.build()
+    return overlay
+
+
+class TestLeases:
+    def test_records_decay_without_refresh(self, tiny_topology):
+        overlay = build(tiny_topology, ttl=10.0)
+        assert overlay.store.total_entries() > 0
+        overlay.network.clock.run_until(100.0)
+        overlay.store.expire_stale()
+        assert overlay.store.total_entries() == 0
+
+    def test_refresh_keeps_everything_alive(self, tiny_topology):
+        overlay = build(tiny_topology, ttl=10.0)
+        overlay.start_refresh()
+        entries = overlay.store.total_entries()
+        overlay.network.clock.run_until(100.0)
+        overlay.store.expire_stale()
+        assert overlay.store.total_entries() == entries
+        overlay.stop_refresh()
+
+    def test_crashed_node_records_expire_despite_loop(self, tiny_topology):
+        """Refresh is per-owner: a crashed node stops refreshing and its
+        records age out -- the essence of soft-state."""
+        overlay = build(tiny_topology, ttl=10.0)
+        overlay.start_refresh()
+        victim = overlay.node_ids[0]
+        overlay.remove_node(victim, graceful=False)
+        overlay.network.clock.run_until(50.0)
+        overlay.store.expire_stale()
+        assert all(
+            victim not in bucket for bucket in overlay.store.maps.values()
+        )
+        # live nodes are unaffected
+        survivor = overlay.node_ids[0]
+        assert any(
+            survivor in bucket for bucket in overlay.store.maps.values()
+        )
+        overlay.stop_refresh()
+
+    def test_refresh_charges_publish_traffic(self, tiny_topology):
+        overlay = build(tiny_topology, ttl=10.0)
+        overlay.start_refresh()
+        before = overlay.network.stats.get("softstate_publish")
+        overlay.network.clock.run_until(20.0)
+        assert overlay.network.stats.get("softstate_publish") > before
+        overlay.stop_refresh()
+
+    def test_interval_required_for_infinite_ttl(self, tiny_topology):
+        overlay = build(tiny_topology, ttl=float("inf"))
+        with pytest.raises(ValueError):
+            overlay.start_refresh()
+        overlay.start_refresh(interval=5.0)  # explicit interval is fine
+        overlay.stop_refresh()
+
+    def test_start_is_idempotent(self, tiny_topology):
+        overlay = build(tiny_topology, ttl=10.0)
+        overlay.start_refresh()
+        timer = overlay._refresh_timer
+        overlay.start_refresh()
+        assert overlay._refresh_timer is timer
+        overlay.stop_refresh()

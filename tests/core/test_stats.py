@@ -1,0 +1,80 @@
+"""Bootstrap/aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import aggregate_over_seeds, bootstrap_ci, paired_improvement
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean(self, rng):
+        sample = rng.normal(10.0, 2.0, size=200)
+        low, high = bootstrap_ci(sample, rng=rng)
+        assert low < sample.mean() < high
+        assert high - low < 2.0  # reasonably tight at n=200
+
+    def test_singleton_degenerates(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_wider_confidence_wider_interval(self, rng):
+        sample = rng.normal(0.0, 1.0, size=50)
+        narrow = bootstrap_ci(sample, confidence=0.5, rng=np.random.default_rng(1))
+        wide = bootstrap_ci(sample, confidence=0.99, rng=np.random.default_rng(1))
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_custom_statistic(self, rng):
+        sample = rng.normal(5.0, 1.0, size=100)
+        low, high = bootstrap_ci(sample, statistic=np.median, rng=rng)
+        assert low < np.median(sample) < high
+
+
+class TestAggregate:
+    def run_fn(self, seed):
+        rng = np.random.default_rng(seed)
+        return [
+            {"n": n, "stretch": 2.0 + n / 100 + rng.normal(0, 0.05)}
+            for n in (16, 32)
+        ]
+
+    def test_grouping_and_ci_columns(self):
+        rows = aggregate_over_seeds(self.run_fn, range(5), ["n"], ["stretch"])
+        assert [r["n"] for r in rows] == [16, 32]
+        for row in rows:
+            assert row["seeds"] == 5
+            assert row["stretch_lo"] <= row["stretch"] <= row["stretch_hi"]
+
+    def test_preserves_trend(self):
+        rows = aggregate_over_seeds(self.run_fn, range(5), ["n"], ["stretch"])
+        assert rows[0]["stretch"] < rows[1]["stretch"]
+
+    def test_missing_values_skipped(self):
+        def with_none(seed):
+            return [{"n": 1, "stretch": None}, {"n": 2, "stretch": 3.0}]
+
+        rows = aggregate_over_seeds(with_none, range(2), ["n"], ["stretch"])
+        assert rows[0]["stretch"] is None
+        assert rows[1]["stretch"] == 3.0
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            aggregate_over_seeds(self.run_fn, [], ["n"], ["stretch"])
+
+
+class TestPaired:
+    def test_summary(self):
+        out = paired_improvement([10.0, 8.0, 12.0], [5.0, 9.0, 6.0])
+        assert out["n"] == 3
+        assert out["wins"] == 2
+        assert out["mean_saving"] == pytest.approx(1 - 20 / 30)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_improvement([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_improvement([], [])

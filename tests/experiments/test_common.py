@@ -1,0 +1,87 @@
+"""Experiment infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    SCALES,
+    bulk_vectors,
+    current_scale,
+    format_table,
+    get_network,
+)
+from repro.proximity import select_landmarks
+from repro.proximity.landmarks import measure_vector
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"quick", "medium", "paper"}
+
+    def test_scales_are_ordered(self):
+        assert (
+            SCALES["quick"].overlay_nodes
+            < SCALES["medium"].overlay_nodes
+            < SCALES["paper"].overlay_nodes
+        )
+        assert max(SCALES["paper"].fig2_sweep) > max(SCALES["quick"].fig2_sweep)
+
+    def test_default_scale_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_env_selects_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+class TestNetworkCache:
+    def test_memoised(self):
+        a = get_network("tsk-large", "manual", 0.25, seed=0)
+        b = get_network("tsk-large", "manual", 0.25, seed=0)
+        assert a is b
+
+    def test_distinct_keys(self):
+        a = get_network("tsk-large", "manual", 0.25, seed=0)
+        b = get_network("tsk-large", "generated", 0.25, seed=0)
+        assert a is not b
+
+
+class TestBulkVectors:
+    def test_matches_per_host_measurement(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 5, rng)
+        hosts = tiny_network.topology.stub_nodes()[:10]
+        bulk = bulk_vectors(tiny_network, landmarks, hosts, charge=False)
+        for i, host in enumerate(hosts):
+            single = measure_vector(tiny_network, int(host), landmarks)
+            assert np.allclose(bulk[i], single, rtol=1e-5)
+
+    def test_charging(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 5, rng)
+        hosts = tiny_network.topology.stub_nodes()[:10]
+        before = tiny_network.stats.snapshot()
+        bulk_vectors(tiny_network, landmarks, hosts, charge=True)
+        assert tiny_network.stats.delta(before)["landmark_probe"] == 50
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 22, "b": 7.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.123" in text
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

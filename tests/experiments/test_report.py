@@ -1,0 +1,47 @@
+"""EXPERIMENTS.md generation."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import report
+
+
+class TestRender:
+    def test_covers_every_paper_figure(self):
+        ids = " ".join(r.exp_id for r in report.REPORTS)
+        for needed in (
+            "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
+            "Figures 10-13", "Figures 14-15", "Figure 16",
+        ):
+            assert needed in ids
+
+    def test_every_report_names_a_bench_file(self):
+        bench_dir = pathlib.Path(report.REPO_ROOT) / "benchmarks"
+        for figure in report.REPORTS:
+            for part in figure.bench.split(" / "):
+                name = part.strip().split("/")[-1]
+                assert (bench_dir / name).exists(), f"missing {name}"
+
+    def test_render_includes_tables_when_present(self):
+        text = report.render()
+        assert text.startswith("# EXPERIMENTS")
+        for figure in report.REPORTS:
+            assert figure.exp_id in text
+            assert figure.paper_says[:30] in text
+        # at least one regenerated table is embedded (benches ran before)
+        if any((report.OUT_DIR / f"{n}.txt").exists()
+               for r in report.REPORTS for n in r.out_files):
+            assert "```" in text
+
+    def test_render_mentions_missing_outputs(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(report, "OUT_DIR", tmp_path)
+        text = report.render()
+        assert "run the bench to produce" in text
+
+    def test_main_writes_target(self, tmp_path, monkeypatch):
+        target = tmp_path / "EXPERIMENTS.md"
+        monkeypatch.setattr(report, "TARGET", target)
+        report.main()
+        assert target.exists()
+        assert target.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,195 @@
+"""Every figure runner produces well-formed rows (micro scale).
+
+These tests run each experiment at a micro scale preset -- small
+enough for CI, large enough that the paper's qualitative shapes
+(orderings, monotone trends) can be asserted.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments import (
+    fig02_hops,
+    fig03_06_nn,
+    fig10_13_stretch_rtts,
+    fig14_15_stretch_nodes,
+    fig16_condense,
+    intro_tacan_imbalance,
+    pubsub_ablation,
+    qos_load,
+)
+
+MICRO = Scale(
+    name="micro",
+    topo_scale=0.3,
+    overlay_nodes=64,
+    node_sweep=(32, 64),
+    fig2_sweep=(64, 256),
+    fig2_dims=(2, 3),
+    route_samples=128,
+    nn_queries=10,
+    ers_budgets=(10, 60),
+    hybrid_budgets=(1, 8),
+    rtt_sweep=(1, 8),
+    landmark_sweep=(5,),
+    condense_sweep=(1.0 / 16, 1.0),
+    churn_events=12,
+)
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig02_hops.run(scale=MICRO, samples=100)
+
+    def test_row_coverage(self, rows):
+        variants = {r["variant"] for r in rows}
+        assert "eCAN (EXP), d=2" in variants
+        assert "CAN, d=2" in variants
+        assert len(rows) == len(MICRO.fig2_sweep) * (len(MICRO.fig2_dims) + 1)
+
+    def test_ecan_beats_low_dim_can(self, rows):
+        by = {(r["variant"], r["N"]): r["mean_hops"] for r in rows}
+        for n in MICRO.fig2_sweep:
+            assert by[("eCAN (EXP), d=2", n)] < by[("CAN, d=2", n)]
+
+    def test_can_hops_grow_polynomially(self, rows):
+        by = {(r["variant"], r["N"]): r["mean_hops"] for r in rows}
+        growth = by[("CAN, d=2", 256)] / by[("CAN, d=2", 64)]
+        assert growth > 1.5  # ~sqrt(4) = 2 expected
+
+    def test_ecan_hops_grow_slowly(self, rows):
+        by = {(r["variant"], r["N"]): r["mean_hops"] for r in rows}
+        growth = by[("eCAN (EXP), d=2", 256)] / by[("eCAN (EXP), d=2", 64)]
+        assert growth < 1.8
+
+
+class TestFig0306:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig03_06_nn.run("tsk-large", scale=MICRO, methods=("lmk+rtt", "ers"))
+
+    def test_rows_shape(self, rows):
+        methods = {r["method"] for r in rows}
+        assert methods == {"lmk+rtt", "ers"}
+        assert all(math.isfinite(r["mean_stretch"]) for r in rows)
+        assert all(r["mean_stretch"] >= 1.0 - 1e-9 for r in rows)
+
+    def test_hybrid_improves_with_probes(self, rows):
+        hybrid = sorted(
+            (r for r in rows if r["method"] == "lmk+rtt"), key=lambda r: r["probes"]
+        )
+        assert hybrid[-1]["mean_stretch"] <= hybrid[0]["mean_stretch"]
+
+    def test_hybrid_beats_ers_at_comparable_budget(self, rows):
+        """The paper's Figure 3 claim: guided probing crushes flooding."""
+        hybrid_at_8 = next(
+            r for r in rows if r["method"] == "lmk+rtt" and r["probes"] == 8
+        )
+        ers_at_10 = next(r for r in rows if r["method"] == "ers" and r["probes"] == 10)
+        assert hybrid_at_8["mean_stretch"] < ers_at_10["mean_stretch"]
+
+    def test_order_ranking_available(self):
+        rows = fig03_06_nn.run("tsk-large", scale=MICRO, methods=("order",))
+        assert {r["method"] for r in rows} == {"lmk-order"}
+
+    def test_gnp_ranking_available(self):
+        """The coordinate-based related-work baseline plugs into the
+        same harness and produces sane curves."""
+        rows = fig03_06_nn.run("tsk-large", scale=MICRO, methods=("gnp",))
+        assert {r["method"] for r in rows} == {"gnp"}
+        ordered = sorted(rows, key=lambda r: r["probes"])
+        assert ordered[-1]["mean_stretch"] <= ordered[0]["mean_stretch"]
+
+
+class TestFig1013:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig10_13_stretch_rtts.run("tsk-large", "manual", scale=MICRO)
+
+    def test_reference_rows_present(self, rows):
+        labels = {r["landmarks"] for r in rows}
+        assert "optimal" in labels and "random" in labels
+
+    def test_softstate_between_optimal_and_random(self, rows):
+        by_label = {}
+        for r in rows:
+            by_label.setdefault(r["landmarks"], []).append(r["mean_stretch"])
+        softstate_best = min(v for k, vals in by_label.items() if isinstance(k, int) for v in vals)
+        assert by_label["optimal"][0] <= softstate_best * 1.3
+        assert softstate_best < by_label["random"][0]
+
+    def test_gap_breakdown_consistent(self):
+        gaps = fig10_13_stretch_rtts.gap_breakdown(scale=MICRO)
+        assert gaps["structural_gap"] >= 0
+        assert gaps["softstate_stretch"] == pytest.approx(
+            1.0 + gaps["structural_gap"] + gaps["information_gap"]
+        )
+        assert 0 < gaps["softstate_vs_random_saving"] < 1
+
+
+class TestFig1415:
+    def test_softstate_beats_random_everywhere(self):
+        rows = fig14_15_stretch_nodes.run("manual", scale=MICRO)
+        by = {(r["topology"], r["policy"], r["N"]): r["mean_stretch"] for r in rows}
+        for topology in ("tsk-large", "tsk-small"):
+            for n in MICRO.node_sweep:
+                assert by[(topology, "softstate", n)] < by[(topology, "random", n)]
+
+
+class TestFig16:
+    def test_entries_concentrate_as_rate_shrinks(self):
+        rows = fig16_condense.run(scale=MICRO)
+        assert len(rows) == len(MICRO.condense_sweep)
+        condensed, spread = rows[0], rows[-1]
+        assert condensed["condense_rate"] < spread["condense_rate"]
+        assert condensed["hosting_nodes"] <= spread["hosting_nodes"]
+        for row in rows:
+            assert row["mean_stretch"] >= 1.0
+
+
+class TestTacan:
+    def test_tacan_more_imbalanced_than_uniform(self):
+        result = intro_tacan_imbalance.run(scale=MICRO, num_landmarks=4)
+        assert (
+            result["tacan"]["nodes_for_80pct_space"]
+            < result["uniform"]["nodes_for_80pct_space"]
+        )
+
+    def test_ordering_slice_is_lexicographic_rank(self):
+        f = intro_tacan_imbalance._ordering_slice
+        assert f((0, 1, 2), 3) == 0
+        assert f((2, 1, 0), 3) == 5
+        assert len({f(p, 3) for p in [(0,1,2),(0,2,1),(1,0,2),(1,2,0),(2,0,1),(2,1,0)]}) == 6
+
+
+class TestPubsubAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return pubsub_ablation.run(scale=MICRO)
+
+    def test_modes_covered(self, rows):
+        assert [r["mode"] for r in rows] == ["none", "polling", "pubsub"]
+
+    def test_pubsub_cheaper_than_polling(self, rows):
+        by = {r["mode"]: r for r in rows}
+        assert by["pubsub"]["maintenance_messages"] < by["polling"]["maintenance_messages"]
+        assert by["pubsub"]["notifications"] > 0
+
+
+class TestQos:
+    def test_load_awareness_flattens_tail(self):
+        """Averaged over seeds (single micro runs are noisy), load-aware
+        selection lowers the utilization tail without hurting stretch much."""
+        tails = {0.0: [], 2.0: []}
+        stretches = {0.0: [], 2.0: []}
+        for seed in (0, 1, 2, 3):
+            for row in qos_load.run(scale=MICRO, seed=seed, weights=(0.0, 2.0)):
+                assert math.isfinite(row["mean_stretch"])
+                tails[row["load_weight"]].append(row["p99_utilization"])
+                stretches[row["load_weight"]].append(row["mean_stretch"])
+        assert np.mean(tails[2.0]) < np.mean(tails[0.0])
+        assert np.mean(stretches[2.0]) < 1.5 * np.mean(stretches[0.0])

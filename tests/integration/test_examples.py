@@ -1,0 +1,59 @@
+"""Every shipped example runs end-to-end and prints its headline.
+
+Run as subprocesses so the examples are exercised exactly as a user
+would run them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args, timeout: float = 420.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "96")
+        assert result.returncode == 0, result.stderr
+        assert "cuts mean routing latency" in result.stdout
+        assert "optimal" in result.stdout
+
+    def test_nearest_replica_cdn(self):
+        result = run_example("nearest_replica_cdn.py")
+        assert result.returncode == 0, result.stderr
+        assert "mean latency to the chosen replica" in result.stdout
+        assert "RTT probes per" in result.stdout
+
+    def test_adaptive_overlay_pubsub(self):
+        result = run_example("adaptive_overlay_pubsub.py")
+        assert result.returncode == 0, result.stderr
+        assert "pub/sub adaptive" in result.stdout
+        assert "notification trees" in result.stdout
+
+    def test_load_aware_routing(self):
+        result = run_example("load_aware_routing.py")
+        assert result.returncode == 0, result.stderr
+        assert "p99 relay utilization" in result.stdout
+
+    def test_porting_to_chord_pastry(self):
+        result = run_example("porting_to_chord_pastry.py")
+        assert result.returncode == 0, result.stderr
+        for overlay in ("eCAN", "Chord", "Pastry"):
+            assert overlay in result.stdout
+
+    def test_diagnosing_stretch(self):
+        result = run_example("diagnosing_stretch.py")
+        assert result.returncode == 0, result.stderr
+        assert "per-hop latency profile" in result.stdout
+        assert "table quality" in result.stdout

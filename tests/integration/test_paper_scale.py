@@ -1,0 +1,53 @@
+"""Opt-in paper-scale smoke tests.
+
+Skipped unless ``REPRO_SLOW=1``: these build paper-reconstruction-
+sized artifacts (a ~10k-node topology, a 1024-node overlay) and check
+that the headline shapes survive the scale-up.  They exist so a full
+``REPRO_SCALE=paper`` bench run is never the first time the code sees
+big inputs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+slow = pytest.mark.skipif(
+    os.environ.get("REPRO_SLOW") != "1",
+    reason="paper-scale smoke tests run only with REPRO_SLOW=1",
+)
+
+
+@slow
+class TestPaperScale:
+    def test_full_size_topology_generates_and_connects(self):
+        from repro.netsim import DistanceOracle, ManualLatencyModel, TransitStubConfig, generate_transit_stub
+
+        topo = generate_transit_stub(TransitStubConfig.tsk_large(), seed=1)
+        assert 8_000 <= topo.num_nodes <= 12_000
+        oracle = DistanceOracle.from_topology(topo, ManualLatencyModel())
+        assert oracle.is_connected()
+
+    def test_1k_overlay_headline_ordering(self):
+        from repro.core import NetworkParams, OverlayParams, TopologyAwareOverlay, make_network
+
+        means = {}
+        for policy in ("random", "softstate"):
+            network = make_network(
+                NetworkParams(topology="tsk-large", latency="manual", seed=1)
+            )
+            overlay = TopologyAwareOverlay(
+                network, OverlayParams(num_nodes=1024, policy=policy, seed=3)
+            )
+            overlay.build()
+            rng = np.random.default_rng(5)
+            means[policy] = overlay.measure_stretch(samples=1024, rng=rng).mean()
+        assert means["softstate"] < 0.75 * means["random"]
+
+    def test_16k_ecan_logarithmic_hops(self):
+        from repro.experiments.fig02_hops import build_ecan, _measure_hops
+
+        ecan = build_ecan(16384, seed=1)
+        rng = np.random.default_rng(2)
+        hops = _measure_hops(ecan, range(16384), 200, rng)
+        assert hops < 12  # ~log4(16384) + CAN tail, far below sqrt growth

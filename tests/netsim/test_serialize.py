@@ -1,0 +1,43 @@
+"""Topology save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import DistanceOracle, ManualLatencyModel
+from repro.netsim.serialize import load_topology, save_topology
+
+
+class TestRoundTrip:
+    def test_arrays_and_metadata_survive(self, tiny_topology, tmp_path):
+        path = tmp_path / "topo.npz"
+        save_topology(tiny_topology, path)
+        loaded = load_topology(path)
+        assert loaded.num_nodes == tiny_topology.num_nodes
+        assert loaded.seed == tiny_topology.seed
+        assert loaded.name == tiny_topology.name
+        assert loaded.config == tiny_topology.config
+        for attr in ("edges", "edge_class", "node_kind", "transit_domain",
+                     "stub_domain", "coords"):
+            assert np.array_equal(getattr(loaded, attr), getattr(tiny_topology, attr))
+
+    def test_loaded_topology_is_usable(self, tiny_topology, tmp_path):
+        path = tmp_path / "topo.npz"
+        save_topology(tiny_topology, path)
+        loaded = load_topology(path)
+        oracle = DistanceOracle.from_topology(loaded, ManualLatencyModel())
+        assert oracle.is_connected()
+        original = DistanceOracle.from_topology(tiny_topology, ManualLatencyModel())
+        assert oracle.distance(0, 5) == pytest.approx(original.distance(0, 5))
+
+    def test_bad_version_rejected(self, tiny_topology, tmp_path):
+        import json
+
+        path = tmp_path / "topo.npz"
+        save_topology(tiny_topology, path)
+        data = dict(np.load(path))
+        header = json.loads(bytes(data["header"]).decode())
+        header["format_version"] = 999
+        data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_topology(path)

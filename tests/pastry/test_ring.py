@@ -1,0 +1,184 @@
+"""Pastry ring mechanics: digits, leaf sets, tables, routing."""
+
+import numpy as np
+import pytest
+
+from repro.pastry.ring import PastryRing, ring_distance
+
+
+def build_ring(n: int, digits: int = 10, seed: int = 0) -> PastryRing:
+    ring = PastryRing(digits=digits, rng=np.random.default_rng(seed))
+    for i in range(n):
+        node_id = ring.join(host=1000 + i)
+        ring.build_table(node_id)
+    return ring
+
+
+class TestIdArithmetic:
+    def test_digit_extraction(self):
+        ring = PastryRing(digits=4, digit_bits=2)
+        # id 0b11100100 = digits (3, 2, 1, 0)
+        node_id = 0b11100100
+        assert [ring.digit(node_id, r) for r in range(4)] == [3, 2, 1, 0]
+
+    def test_shared_prefix(self):
+        ring = PastryRing(digits=4, digit_bits=2)
+        assert ring.shared_prefix(0b11100100, 0b11100100) == 4
+        assert ring.shared_prefix(0b11100100, 0b11100111) == 3
+        assert ring.shared_prefix(0b11100100, 0b00100100) == 0
+
+    def test_prefix_interval(self):
+        ring = PastryRing(digits=4, digit_bits=2)
+        lo, hi = ring.prefix_interval(0b11100100, row=1, digit=0b01)
+        # first digit kept (11), second forced to 01: [0b11010000, 0b11100000)
+        assert lo == 0b11010000
+        assert hi == 0b11100000
+
+    def test_ring_distance(self):
+        assert ring_distance(1, 255, 256) == 2
+        assert ring_distance(0, 128, 256) == 128
+
+    def test_numerically_closest(self):
+        ring = PastryRing(digits=4, digit_bits=2)
+        for node_id in (10, 100, 200):
+            ring.join(host=node_id, node_id=node_id)
+        assert ring.numerically_closest(12) == 10
+        assert ring.numerically_closest(160) == 200
+        assert ring.numerically_closest(250) == 10  # wraps: 250->10 is 16
+
+
+class TestMembership:
+    def test_unique_ids(self):
+        ring = build_ring(60)
+        assert len(set(ring.members())) == 60
+
+    def test_duplicate_rejected(self):
+        ring = PastryRing(digits=6)
+        ring.join(host=1, node_id=5)
+        with pytest.raises(ValueError):
+            ring.join(host=2, node_id=5)
+
+    def test_leave(self):
+        ring = build_ring(10)
+        victim = ring.members()[2]
+        ring.leave(victim)
+        assert victim not in ring
+        with pytest.raises(KeyError):
+            ring.leave(victim)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PastryRing(digits=1)
+
+
+class TestLeafSet:
+    def test_size_and_symmetry(self):
+        ring = build_ring(40, seed=2)
+        for node_id in ring.members()[:10]:
+            leaves = ring.leaf_set(node_id)
+            assert len(leaves) == 2 * ring.leaf_span
+            assert node_id not in leaves
+
+    def test_small_ring(self):
+        ring = build_ring(3)
+        for node_id in ring.members():
+            leaves = ring.leaf_set(node_id)
+            assert set(leaves) == set(ring.members()) - {node_id}
+
+    def test_single_node(self):
+        ring = build_ring(1)
+        assert ring.leaf_set(ring.members()[0]) == []
+
+    def test_leaves_are_the_numerically_closest(self):
+        ring = build_ring(50, seed=3)
+        node_id = ring.members()[7]
+        leaves = set(ring.leaf_set(node_id))
+        others = [m for m in ring.members() if m != node_id]
+        others.sort(key=lambda m: ring.members().index(m))
+        # the leaf set contains the immediate successor and predecessor
+        ids = ring.members()
+        i = ids.index(node_id)
+        assert ids[(i + 1) % len(ids)] in leaves
+        assert ids[(i - 1) % len(ids)] in leaves
+
+
+class TestTable:
+    def test_slots_match_prefix_constraint(self):
+        ring = build_ring(80, seed=4)
+        for node_id in ring.members()[:15]:
+            for (row, digit), entry in ring.nodes[node_id].table.items():
+                assert ring.shared_prefix(node_id, entry) >= row
+                assert ring.digit(entry, row) == digit
+
+    def test_slot_repair_after_leave(self):
+        ring = build_ring(80, seed=5)
+        node_id = ring.members()[0]
+        (row, digit), victim = next(iter(ring.nodes[node_id].table.items()))
+        if victim != node_id:
+            ring.leave(victim)
+            entry = ring.slot(node_id, row, digit)
+            assert entry is None or (entry in ring.nodes and entry != victim)
+
+    def test_row_zero_nearly_full(self):
+        ring = build_ring(200, seed=6)
+        node_id = ring.members()[0]
+        row0 = [d for (row, d) in ring.nodes[node_id].table if row == 0]
+        # with 200 nodes over 4 top-level digits, all 3 foreign slots fill
+        assert len(row0) == ring.base - 1
+
+
+class TestRouting:
+    def test_reaches_numerically_closest(self):
+        ring = build_ring(100, seed=7)
+        rng = np.random.default_rng(8)
+        for _ in range(100):
+            key = int(rng.integers(0, ring.space))
+            result = ring.route(ring.random_member(), key)
+            assert result.success
+            assert result.owner == ring.numerically_closest(key)
+
+    def test_route_to_own_id(self):
+        ring = build_ring(20, seed=7)
+        node_id = ring.members()[3]
+        result = ring.route(node_id, node_id)
+        assert result.owner == node_id
+        assert result.hops == 0
+
+    def test_logarithmic_hops(self):
+        rng = np.random.default_rng(9)
+        means = {}
+        for n in (32, 256):
+            ring = build_ring(n, digits=12, seed=10)
+            hops = [
+                ring.route(ring.random_member(), int(rng.integers(0, ring.space))).hops
+                for _ in range(60)
+            ]
+            means[n] = np.mean(hops)
+        assert means[256] < means[32] * 2.2
+
+    def test_routing_after_churn(self):
+        ring = build_ring(80, seed=11)
+        rng = np.random.default_rng(12)
+        for victim in ring.members()[::3]:
+            ring.leave(victim)
+        for i in range(20):
+            node_id = ring.join(host=7000 + i)
+            ring.build_table(node_id)
+        for _ in range(60):
+            result = ring.route(ring.random_member(), int(rng.integers(0, ring.space)))
+            assert result.success
+
+    def test_unknown_start(self):
+        ring = build_ring(4)
+        with pytest.raises(KeyError):
+            ring.route(10 ** 9, 0)
+
+    def test_hops_charged(self, tiny_network):
+        ring = PastryRing(digits=10, network=tiny_network,
+                          rng=np.random.default_rng(1), stats=tiny_network.stats)
+        for i in range(40):
+            node_id = ring.join(host=i)
+            ring.build_table(node_id)
+        before = tiny_network.stats.snapshot()
+        result = ring.route(ring.random_member(), 12345, category="probe")
+        assert tiny_network.stats.delta(before).get("probe", 0) == result.hops

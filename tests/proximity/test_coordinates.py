@@ -1,0 +1,70 @@
+"""GNP-style coordinate embedding."""
+
+import numpy as np
+import pytest
+
+from repro.proximity import CoordinateSystem
+
+
+@pytest.fixture
+def fitted(tiny_network, rng):
+    system = CoordinateSystem(dims=3)
+    landmarks = tiny_network.sample_hosts(8, rng, stub_only=False)
+    system.fit_landmarks(tiny_network, landmarks)
+    return system
+
+
+class TestFit:
+    def test_landmark_coords_shape(self, fitted):
+        assert fitted.landmark_coords.shape == (8, 3)
+
+    def test_landmark_embedding_roughly_preserves_distances(
+        self, fitted, tiny_network
+    ):
+        hosts = fitted.landmark_hosts
+        true_d, embed_d = [], []
+        for i in range(len(hosts)):
+            for j in range(i + 1, len(hosts)):
+                true_d.append(tiny_network.latency(int(hosts[i]), int(hosts[j])))
+                embed_d.append(
+                    fitted.distance(fitted.landmark_coords[i], fitted.landmark_coords[j])
+                )
+        correlation = np.corrcoef(true_d, embed_d)[0, 1]
+        assert correlation > 0.8
+
+    def test_requires_enough_landmarks(self, tiny_network, rng):
+        system = CoordinateSystem(dims=4)
+        with pytest.raises(ValueError):
+            system.fit_landmarks(tiny_network, tiny_network.sample_hosts(4, rng))
+
+    def test_solve_before_fit_rejected(self, tiny_network):
+        with pytest.raises(RuntimeError):
+            CoordinateSystem(dims=2).solve_host(tiny_network, 0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            CoordinateSystem(dims=0)
+
+
+class TestSolve:
+    def test_host_coordinates_predict_distances(self, fitted, tiny_network, rng):
+        hosts = tiny_network.sample_hosts(12, rng)
+        coords = {int(h): fitted.solve_host(tiny_network, int(h)) for h in hosts}
+        true_d, embed_d = [], []
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                true_d.append(tiny_network.latency(int(a), int(b)))
+                embed_d.append(fitted.distance(coords[int(a)], coords[int(b)]))
+        correlation = np.corrcoef(true_d, embed_d)[0, 1]
+        assert correlation > 0.6
+
+    def test_probes_charged(self, fitted, tiny_network):
+        before = tiny_network.stats.snapshot()
+        fitted.solve_host(tiny_network, 3)
+        assert tiny_network.stats.delta(before)["gnp_probe"] == 8
+
+    def test_solve_from_rtts_matches_solve_host(self, fitted, tiny_network):
+        rtts = tiny_network.rtt_many(5, fitted.landmark_hosts)
+        a = fitted.solve_from_rtts(rtts)
+        b = fitted.solve_host(tiny_network, 5)
+        assert np.allclose(a, b, atol=1e-6)

@@ -1,0 +1,97 @@
+"""Expanding-ring search and the SearchCurve container."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import CanOverlay
+from repro.proximity import expanding_ring_search
+from repro.proximity.ers import SearchCurve
+
+
+@pytest.fixture
+def search_can(tiny_network):
+    """A CAN containing every node of the tiny topology."""
+    can = CanOverlay(dims=2, rng=np.random.default_rng(11))
+    for i in range(tiny_network.num_nodes):
+        can.join(i, host=i)
+    return can
+
+
+class TestSearchCurve:
+    def make(self):
+        return SearchCurve(
+            probes=np.array([1, 4, 9]),
+            best_rtt=np.array([10.0, 6.0, 2.0]),
+            best_host=np.array([7, 8, 9]),
+        )
+
+    def test_best_after(self):
+        curve = self.make()
+        assert curve.best_after(1) == (7, 10.0)
+        assert curve.best_after(5) == (8, 6.0)
+        assert curve.best_after(100) == (9, 2.0)
+
+    def test_best_after_zero_budget(self):
+        assert self.make().best_after(0) == (None, float("inf"))
+
+    def test_empty_curve(self):
+        curve = SearchCurve(
+            probes=np.array([]), best_rtt=np.array([]), best_host=np.array([])
+        )
+        assert curve.best_after(10) == (None, float("inf"))
+        assert curve.stretch_after(10, 1.0) == float("inf")
+
+    def test_stretch_after(self):
+        curve = self.make()
+        # best rtt 2.0 -> one-way 1.0; true nearest 0.5 -> stretch 2
+        assert curve.stretch_after(100, 0.5) == pytest.approx(2.0)
+
+    def test_stretch_monotone_in_budget(self):
+        curve = self.make()
+        values = [curve.stretch_after(b, 1.0) for b in (1, 4, 9)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestErs:
+    def test_finds_true_nearest_with_full_budget(self, tiny_network, search_can):
+        query = 5
+        curve = expanding_ring_search(
+            tiny_network, search_can, query, max_probes=tiny_network.num_nodes
+        )
+        lat = tiny_network.latencies_from(5).astype(np.float64).copy()
+        lat[5] = np.inf
+        best_host, best_rtt = curve.best_after(tiny_network.num_nodes)
+        assert best_rtt / 2.0 == pytest.approx(float(lat.min()))
+
+    def test_respects_probe_budget(self, tiny_network, search_can):
+        before = tiny_network.stats.snapshot()
+        curve = expanding_ring_search(tiny_network, search_can, 3, max_probes=25)
+        delta = tiny_network.stats.delta(before)
+        assert delta["ers_probe"] <= 25
+        assert curve.probes.max() <= 25
+
+    def test_quality_improves_with_budget(self, tiny_network, search_can):
+        stretches = []
+        lat = tiny_network.latencies_from(8).astype(np.float64).copy()
+        lat[8] = np.inf
+        true_nn = float(lat.min())
+        curve = expanding_ring_search(
+            tiny_network, search_can, 8, max_probes=tiny_network.num_nodes
+        )
+        for budget in (5, 40, tiny_network.num_nodes):
+            stretches.append(curve.stretch_after(budget, true_nn))
+        assert stretches[0] >= stretches[1] >= stretches[2]
+        assert stretches[2] == pytest.approx(1.0)
+
+    def test_counts_control_messages(self, tiny_network, search_can):
+        curve = expanding_ring_search(tiny_network, search_can, 2, max_probes=30)
+        assert curve.control_messages >= len(curve.probes)
+
+    def test_unknown_query_node(self, tiny_network, search_can):
+        with pytest.raises(KeyError):
+            expanding_ring_search(tiny_network, search_can, 10 ** 9)
+
+    def test_best_rtt_series_strictly_improving(self, tiny_network, search_can):
+        curve = expanding_ring_search(tiny_network, search_can, 4, max_probes=200)
+        assert (np.diff(curve.best_rtt) < 0).all()
+        assert (np.diff(curve.probes) > 0).all()

@@ -1,0 +1,121 @@
+"""Hilbert curves: bijectivity, locality, the unit-cube interface."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proximity.hilbert import HilbertCurve
+
+
+class TestConstruction:
+    def test_sizes(self):
+        curve = HilbertCurve(bits=3, dims=2)
+        assert curve.side == 8
+        assert curve.length == 64
+
+    @pytest.mark.parametrize("bits,dims", [(0, 2), (2, 0), (-1, 3)])
+    def test_rejects_bad_parameters(self, bits, dims):
+        with pytest.raises(ValueError):
+            HilbertCurve(bits=bits, dims=dims)
+
+    def test_rejects_out_of_range_coords(self):
+        curve = HilbertCurve(bits=2, dims=2)
+        with pytest.raises(ValueError):
+            curve.encode((4, 0))
+        with pytest.raises(ValueError):
+            curve.encode((0, -1))
+
+    def test_rejects_out_of_range_index(self):
+        curve = HilbertCurve(bits=2, dims=2)
+        with pytest.raises(ValueError):
+            curve.decode(16)
+        with pytest.raises(ValueError):
+            curve.decode(-1)
+
+    def test_rejects_wrong_dimension_count(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(bits=2, dims=2).encode((1, 1, 1))
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_bijective(self, dims, bits):
+        curve = HilbertCurve(bits=bits, dims=dims)
+        seen = set()
+        for index in range(curve.length):
+            coords = curve.decode(index)
+            assert curve.encode(coords) == index
+            seen.add(coords)
+        assert len(seen) == curve.length
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_unit_step_locality(self, dims, bits):
+        """Consecutive indices differ by 1 in exactly one coordinate --
+        the defining Hilbert property the paper's placement relies on."""
+        curve = HilbertCurve(bits=bits, dims=dims)
+        prev = curve.decode(0)
+        for index in range(1, curve.length):
+            cur = curve.decode(index)
+            diff = [abs(a - b) for a, b in zip(prev, cur)]
+            assert sum(diff) == 1 and max(diff) == 1, (index, prev, cur)
+            prev = cur
+
+    def test_known_2d_order_1(self):
+        """The order-1 2-d Hilbert curve visits the four quadrants in a
+        U shape (up to orientation: all four visited, each step adjacent)."""
+        curve = HilbertCurve(bits=1, dims=2)
+        path = [curve.decode(i) for i in range(4)]
+        assert set(path) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestProperties:
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=1, max_value=8),
+           st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_random(self, dims, bits, data):
+        curve = HilbertCurve(bits=bits, dims=dims)
+        index = data.draw(st.integers(min_value=0, max_value=curve.length - 1))
+        assert curve.encode(curve.decode(index)) == index
+
+    @given(st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_encode_round_trip_random_coords(self, data):
+        dims = data.draw(st.integers(min_value=1, max_value=5))
+        bits = data.draw(st.integers(min_value=1, max_value=6))
+        curve = HilbertCurve(bits=bits, dims=dims)
+        coords = tuple(
+            data.draw(st.integers(min_value=0, max_value=curve.side - 1))
+            for _ in range(dims)
+        )
+        assert curve.decode(curve.encode(coords)) == coords
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_index_locality_bounds_coordinate_distance(self, data):
+        """Close indices stay close in space (weak locality bound)."""
+        curve = HilbertCurve(bits=4, dims=2)
+        index = data.draw(st.integers(min_value=0, max_value=curve.length - 2))
+        a = curve.decode(index)
+        b = curve.decode(index + 1)
+        assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+class TestUnitInterface:
+    def test_encode_point_matches_grid(self):
+        curve = HilbertCurve(bits=2, dims=2)
+        assert curve.encode_point((0.0, 0.0)) == curve.encode((0, 0))
+        assert curve.encode_point((0.99, 0.99)) == curve.encode((3, 3))
+
+    def test_encode_point_clamps(self):
+        curve = HilbertCurve(bits=2, dims=2)
+        curve.encode_point((1.0, 1.0))  # must not raise
+        curve.encode_point((-0.01, 0.5))
+
+    def test_decode_center_round_trip(self):
+        curve = HilbertCurve(bits=3, dims=2)
+        for index in (0, 17, 63):
+            center = curve.decode_center(index)
+            assert curve.encode_point(center) == index
+            assert all(0.0 < c < 1.0 for c in center)

@@ -1,0 +1,58 @@
+"""Landmark placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import NodeKind
+from repro.proximity import select_landmarks
+
+
+class TestStrategies:
+    def test_transit_picks_backbone_nodes(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 6, rng, strategy="transit")
+        kinds = tiny_network.topology.node_kind[landmarks.hosts]
+        assert (kinds == NodeKind.TRANSIT).all()
+
+    def test_transit_pool_exhaustion(self, tiny_network, rng):
+        transit_count = len(tiny_network.topology.transit_nodes())
+        with pytest.raises(ValueError):
+            select_landmarks(tiny_network, transit_count + 1, rng, strategy="transit")
+
+    def test_spread_yields_distinct_hosts(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 6, rng, strategy="spread")
+        assert len(set(int(h) for h in landmarks.hosts)) == 6
+
+    def test_spread_separates_better_than_random(self, tiny_network):
+        """Greedy max-min selection achieves a larger minimum pairwise
+        latency than random picks (averaged over seeds)."""
+
+        def min_gap(landmarks):
+            hosts = landmarks.hosts
+            return min(
+                tiny_network.latency(int(a), int(b))
+                for i, a in enumerate(hosts)
+                for b in hosts[i + 1 :]
+            )
+
+        spread_gaps, random_gaps = [], []
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            spread_gaps.append(
+                min_gap(select_landmarks(tiny_network, 5, rng, strategy="spread"))
+            )
+            rng = np.random.default_rng(seed)
+            random_gaps.append(
+                min_gap(select_landmarks(tiny_network, 5, rng, strategy="random"))
+            )
+        assert np.mean(spread_gaps) >= np.mean(random_gaps)
+
+    def test_spread_charges_probes(self, tiny_network, rng):
+        before = tiny_network.stats.snapshot()
+        select_landmarks(tiny_network, 5, rng, strategy="spread")
+        delta = tiny_network.stats.delta(before)
+        # selection probes beyond the final pairwise calibration
+        assert delta["landmark_calibration"] > 10
+
+    def test_unknown_strategy(self, tiny_network, rng):
+        with pytest.raises(ValueError, match="unknown landmark strategy"):
+            select_landmarks(tiny_network, 5, rng, strategy="psychic")

@@ -1,0 +1,158 @@
+"""§5.4 refinement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import bulk_vectors
+from repro.netsim import GeneratedLatencyModel, Network, NoisyLatencyModel
+from repro.proximity import select_landmarks
+from repro.proximity.refinements import (
+    HierarchicalLandmarks,
+    LandmarkGroups,
+    SvdProjector,
+)
+
+
+@pytest.fixture
+def noisy_testbed(tiny_topology, rng):
+    """Noisy latencies + many landmarks: the regime §5.4 targets."""
+    network = Network(
+        tiny_topology, NoisyLatencyModel(base=GeneratedLatencyModel(), sigma=0.5, seed=9)
+    )
+    landmarks = select_landmarks(network, 12, rng)
+    hosts = tiny_topology.stub_nodes()
+    vectors = bulk_vectors(network, landmarks, hosts, charge=False)
+    return network, hosts, vectors
+
+
+def ranking_quality(network, hosts, order_fn, queries=12, top=5) -> float:
+    """Mean true latency of the top-ranked candidates (lower = better)."""
+    rng = np.random.default_rng(3)
+    picks = rng.choice(len(hosts), size=queries, replace=False)
+    total = 0.0
+    for q in picks:
+        order = order_fn(int(q))
+        order = [i for i in order if i != q][:top]
+        lat = network.latencies_from(int(hosts[q]))[hosts]
+        total += float(np.mean(lat[order]))
+    return total / queries
+
+
+class TestLandmarkGroups:
+    def test_split_partitions(self):
+        groups = LandmarkGroups.split(10, 3)
+        flat = sorted(int(i) for g in groups.groups for i in g)
+        assert flat == list(range(10))
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            LandmarkGroups.split(4, 5)
+        with pytest.raises(ValueError):
+            LandmarkGroups([])
+
+    def test_rank_is_permutation(self, noisy_testbed):
+        _, hosts, vectors = noisy_testbed
+        groups = LandmarkGroups.split(vectors.shape[1], 3)
+        order = groups.rank(vectors[0], vectors)
+        assert sorted(order.tolist()) == list(range(len(hosts)))
+
+    def test_one_group_equals_plain_ranking(self, noisy_testbed):
+        _, _, vectors = noisy_testbed
+        groups = LandmarkGroups.split(vectors.shape[1], 1)
+        plain = np.argsort(np.linalg.norm(vectors - vectors[0], axis=1), kind="stable")
+        assert np.array_equal(groups.rank(vectors[0], vectors), plain)
+
+    def test_vetoes_single_group_false_clustering(self):
+        """A candidate that fakes closeness in one group but not the
+        other must rank below a candidate close in both."""
+        query = np.zeros(4)
+        good = np.array([1.0, 1.0, 1.0, 1.0])
+        faker = np.array([0.0, 0.0, 3.0, 3.0])  # perfect in group 0 only
+        groups = LandmarkGroups([[0, 1], [2, 3]])
+        order = groups.rank(query, np.stack([faker, good]))
+        assert order[0] == 1  # 'good' wins despite larger plain distance
+
+
+class TestSvd:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SvdProjector(2).transform(np.zeros((3, 5)))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            SvdProjector(0)
+        with pytest.raises(ValueError):
+            SvdProjector(5).fit(np.zeros((4, 6)))
+
+    def test_transform_shape(self, noisy_testbed):
+        _, _, vectors = noisy_testbed
+        projector = SvdProjector(4).fit(vectors)
+        out = projector.transform(vectors[:7])
+        assert out.shape == (7, 4)
+
+    def test_rank_is_permutation(self, noisy_testbed):
+        _, hosts, vectors = noisy_testbed
+        projector = SvdProjector(4).fit(vectors)
+        order = projector.rank(vectors[3], vectors)
+        assert sorted(order.tolist()) == list(range(len(hosts)))
+
+    def test_projection_preserves_dominant_structure(self, noisy_testbed):
+        """Ranking quality in the top subspace stays comparable to the
+        full noisy vectors (the projection mostly discards noise)."""
+        network, hosts, vectors = noisy_testbed
+        projector = SvdProjector(5).fit(vectors)
+
+        def svd_rank(q):
+            return projector.rank(vectors[q], vectors)
+
+        def plain_rank(q):
+            return np.argsort(np.linalg.norm(vectors - vectors[q], axis=1))
+
+        svd_quality = ranking_quality(network, hosts, svd_rank)
+        plain_quality = ranking_quality(network, hosts, plain_rank)
+        assert svd_quality <= plain_quality * 1.3
+
+
+class TestHierarchical:
+    @pytest.fixture
+    def hierarchy(self, tiny_topology):
+        network = Network(tiny_topology, GeneratedLatencyModel())
+        return network, HierarchicalLandmarks(
+            network, global_count=4, local_count=2, rng=np.random.default_rng(5)
+        )
+
+    def test_local_sets_cover_domains(self, hierarchy):
+        network, h = hierarchy
+        assert len(h.local_sets) == network.topology.config.transit_domains
+
+    def test_measure_shapes(self, hierarchy):
+        network, h = hierarchy
+        host = int(network.topology.stub_nodes()[0])
+        global_vector, locals_ = h.measure(host)
+        assert global_vector.shape == (4,)
+        assert all(v.shape == (2,) for v in locals_.values())
+
+    def test_rank_is_permutation(self, hierarchy):
+        network, h = hierarchy
+        hosts = network.topology.stub_nodes()[:15]
+        measured = [h.measure(int(x)) for x in hosts]
+        order = h.rank(measured[0], measured)
+        assert sorted(order.tolist()) == list(range(15))
+
+    def test_local_refinement_separates_same_bucket_nodes(self, hierarchy):
+        """Nodes indistinguishable at the global coarse bucket must be
+        ordered by local-landmark distance."""
+        network, h = hierarchy
+        topo = network.topology
+        # query + same-stub near node + same-domain far node
+        stub0 = np.flatnonzero(topo.stub_domain == 0)
+        domain = topo.transit_domain[stub0[0]]
+        other_stub = np.flatnonzero(
+            (topo.transit_domain == domain) & (topo.stub_domain > 0)
+            & (topo.stub_domain >= 0)
+        )
+        trio = [int(stub0[0]), int(stub0[1]), int(other_stub[-1])]
+        measured = [h.measure(x) for x in trio]
+        order = h.rank(measured[0], measured)
+        assert list(order)[0] == 0  # itself
+        assert list(order).index(1) < list(order).index(2)

@@ -1,0 +1,30 @@
+"""Fixtures: small assembled overlays for soft-state tests."""
+
+import pytest
+
+from repro.core import OverlayParams, TopologyAwareOverlay
+from repro.netsim import ManualLatencyModel, Network
+
+
+@pytest.fixture
+def overlay(tiny_topology):
+    """48-node soft-state overlay on the tiny topology."""
+    network = Network(tiny_topology, ManualLatencyModel())
+    ov = TopologyAwareOverlay(
+        network,
+        OverlayParams(num_nodes=48, policy="softstate", landmarks=6, seed=5),
+    )
+    ov.build()
+    return ov
+
+
+@pytest.fixture
+def small_overlay(small_topology):
+    """128-node soft-state overlay with more room (churn tests)."""
+    network = Network(small_topology, ManualLatencyModel())
+    ov = TopologyAwareOverlay(
+        network,
+        OverlayParams(num_nodes=128, policy="softstate", landmarks=8, seed=5),
+    )
+    ov.build()
+    return ov

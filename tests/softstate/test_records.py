@@ -1,0 +1,52 @@
+"""NodeRecord semantics."""
+
+import math
+
+import pytest
+
+from repro.softstate import NodeRecord
+
+
+def make(**kw):
+    defaults = dict(
+        node_id=1,
+        host=100,
+        landmark_vector=(1.0, 2.0),
+        landmark_number=5,
+    )
+    defaults.update(kw)
+    return NodeRecord(**defaults)
+
+
+class TestExpiry:
+    def test_never_expires_by_default(self):
+        assert not make().is_expired(1e12)
+
+    def test_expires_at_lease_end(self):
+        record = make(expires_at=10.0)
+        assert not record.is_expired(9.999)
+        assert record.is_expired(10.0)
+
+    def test_refreshed_extends_lease(self):
+        record = make(expires_at=10.0)
+        fresh = record.refreshed(now=8.0, ttl=5.0)
+        assert fresh.expires_at == 13.0
+        assert fresh.published_at == 8.0
+        # original is untouched (records are value-ish)
+        assert record.expires_at == 10.0
+
+
+class TestLoad:
+    def test_utilization(self):
+        record = make(capacity=4.0, load=1.0)
+        assert record.utilization == pytest.approx(0.25)
+
+    def test_zero_capacity_is_infinite_utilization(self):
+        assert make(capacity=0.0, load=1.0).utilization == math.inf
+
+    def test_with_load_preserves_identity(self):
+        record = make(load=0.0)
+        updated = record.with_load(3.0)
+        assert updated.load == 3.0
+        assert updated.node_id == record.node_id
+        assert record.load == 0.0

@@ -1,0 +1,44 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import random_pairs, uniform_points, zipf_points
+
+
+class TestRandomPairs:
+    def test_shape_and_distinctness(self, rng):
+        pairs = random_pairs(range(20), 50, rng)
+        assert len(pairs) == 50
+        for src, dst in pairs:
+            assert src != dst
+            assert 0 <= src < 20 and 0 <= dst < 20
+
+    def test_needs_two_nodes(self, rng):
+        with pytest.raises(ValueError):
+            random_pairs([1], 5, rng)
+
+
+class TestUniformPoints:
+    def test_range(self, rng):
+        points = uniform_points(100, 3, rng)
+        assert points.shape == (100, 3)
+        assert (points >= 0).all() and (points < 1).all()
+
+
+class TestZipfPoints:
+    def test_skew(self, rng):
+        points = zipf_points(2000, 2, rng, distinct=16, exponent=1.2)
+        assert points.shape == (2000, 2)
+        _, counts = np.unique(points[:, 0], return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # head much heavier than tail
+        assert counts[0] > 4 * counts[-1]
+
+    def test_at_most_distinct_values(self, rng):
+        points = zipf_points(500, 2, rng, distinct=8)
+        assert len(np.unique(points[:, 0])) <= 8
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            zipf_points(10, 2, rng, distinct=0)
