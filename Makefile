@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper report examples clean
+.PHONY: install test bench bench-medium bench-paper report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -21,6 +21,14 @@ bench-paper:
 
 report:
 	$(PYTHON) -m repro report
+
+# What the GitHub workflow runs: the full test suite plus quick-scale
+# smoke runs of the resilience benches (timing disabled -- the assertions
+# on success rate / false purges are the point).
+ci:
+	$(PYTHON) -m pytest tests/ -q
+	$(PYTHON) -m pytest benchmarks/bench_ext_failure_resilience.py \
+		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; echo; done

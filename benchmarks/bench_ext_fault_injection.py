@@ -1,0 +1,54 @@
+"""Extension: continuous fault injection vs the reliability stack.
+
+Unlike the mass-crash benchmark (one-shot failures against a perfect
+network), this one arms a :class:`FaultPlan` that drops probes and
+overlay messages continuously, and sweeps loss rate x retry policy:
+
+* ``none``  -- fire-and-forget: one lost hop fails the route, one
+  silent ping purges the record;
+* ``retry`` -- per-hop resends with sim-clock backoff, dead-expressway
+  skipping with greedy degradation, and 2-confirmation maintenance
+  probing.
+
+Expected shape: the baseline's routing success decays with loss while
+the retry arm stays near 1.0 at the cost of resend traffic; the retry
+arm never false-purges a live record; and after a 10% crash-stop both
+arms converge to a clean store (the retry arm more slowly -- it pays
+confirmation rounds before believing a death)."""
+
+from _common import emit
+from repro.experiments import SCALES, current_scale, format_table
+from repro.experiments import failure_resilience
+
+
+def bench_fault_injection(benchmark):
+    scale = current_scale()
+    rows = failure_resilience.run_fault_injection(scale=scale)
+    emit(
+        "ext_fault_injection",
+        f"Fault injection: loss rate x retry policy ({scale.name})",
+        format_table(rows),
+    )
+
+    benchmark.pedantic(
+        lambda: failure_resilience.run_fault_injection(
+            scale=SCALES["quick"], loss_rates=(0.1,), probes=32
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    by_cell = {(row["loss_rate"], row["policy"]): row for row in rows}
+    # the reliability stack holds the line at 10% loss ...
+    assert by_cell[(0.1, "retry")]["success_rate"] >= 0.95
+    # ... where the fire-and-forget baseline measurably degrades
+    assert (
+        by_cell[(0.1, "none")]["success_rate"]
+        < by_cell[(0.1, "retry")]["success_rate"]
+    )
+    # N-confirmation probing never purges a live record
+    for row in rows:
+        if row["policy"] == "retry":
+            assert row["false_purges"] == 0
+    # retries only ever happen once faults are armed and lossy
+    assert by_cell[(0.0, "retry")]["retries"] == 0

@@ -66,6 +66,7 @@ def _figure_registry() -> dict:
         "join-cost": lambda: table(join_cost.run()),
         "churn": lambda: table(churn_timeline.run()),
         "resilience": lambda: table(failure_resilience.run()),
+        "fault-injection": lambda: table(failure_resilience.run_fault_injection()),
     }
 
 

@@ -12,18 +12,22 @@ from repro.core.churn import ChurnDriver, ChurnEvent, poisson_churn
 from repro.core.config import NetworkParams, OverlayParams, make_network
 from repro.core.metrics import summarize
 from repro.core.qos import LoadTracker, pareto_capacities
+from repro.core.reliability import NO_RETRY, RetryPolicy, measure_vector_reliably
 from repro.core.stats import aggregate_over_seeds, bootstrap_ci, paired_improvement
 
 __all__ = [
     "ChurnDriver",
     "ChurnEvent",
     "LoadTracker",
+    "NO_RETRY",
     "NetworkParams",
     "OverlayParams",
+    "RetryPolicy",
     "TopologyAwareOverlay",
     "aggregate_over_seeds",
     "bootstrap_ci",
     "make_network",
+    "measure_vector_reliably",
     "paired_improvement",
     "pareto_capacities",
     "poisson_churn",

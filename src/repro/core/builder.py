@@ -24,6 +24,7 @@ import itertools
 import numpy as np
 
 from repro.core.config import OverlayParams
+from repro.core.reliability import RetryPolicy, measure_vector_reliably
 from repro.overlay.ecan import (
     ClosestNeighborPolicy,
     EcanOverlay,
@@ -45,9 +46,13 @@ class TopologyAwareOverlay:
         network,
         params: OverlayParams = None,
         maintenance_policy: MaintenancePolicy = MaintenancePolicy.PROACTIVE,
+        retry_policy: RetryPolicy = None,
     ):
         self.network = network
         self.params = params if params is not None else OverlayParams()
+        #: RetryPolicy shared by routing, probing and maintenance; None
+        #: keeps every layer fire-and-forget (the pre-fault baseline)
+        self.retry_policy = retry_policy
         # Independent streams so that changing the landmark count or the
         # policy does not reshuffle overlay membership or join points --
         # experiment cells with the same seed stay comparable.
@@ -65,7 +70,11 @@ class TopologyAwareOverlay:
             index_dims=min(self.params.index_dims, landmarks.count),
         )
         self.ecan = EcanOverlay(
-            dims=self.params.dims, rng=self.rng, stats=self.stats
+            dims=self.params.dims,
+            rng=self.rng,
+            stats=self.stats,
+            network=network,
+            retry_policy=retry_policy,
         )
         self.store = SoftStateStore(
             self.ecan,
@@ -78,7 +87,11 @@ class TopologyAwareOverlay:
         )
         self.pubsub = PubSubService(self.store, self.ecan, network)
         self.maintenance = MaintenanceDriver(
-            self.store, self.ecan, network, policy=maintenance_policy
+            self.store,
+            self.ecan,
+            network,
+            policy=maintenance_policy,
+            retry_policy=retry_policy,
         )
         self.ecan.policy = self._make_policy(self.params.policy)
         self._ids = itertools.count()
@@ -88,6 +101,20 @@ class TopologyAwareOverlay:
         # pure function of the host stream, independent of landmark count.
         self._used_hosts: set = set()
         self._adaptive: set = set()
+
+    # -- fault injection -------------------------------------------------------
+
+    def arm_faults(self, plan=None, seed: int = 0):
+        """Arm a fault plan over the underlying network.
+
+        Returns the :class:`~repro.netsim.faults.FaultInjector`.
+        Ungraceful departures now also crash-stop the victim's host
+        (probes to it time out) and hosts are revived on reuse.
+        """
+        return self.network.arm_faults(plan, seed=seed)
+
+    def disarm_faults(self) -> None:
+        self.network.disarm_faults()
 
     def _make_policy(self, name: str):
         if name == "random":
@@ -101,6 +128,7 @@ class TopologyAwareOverlay:
                 rtt_budget=self.params.rtt_budget,
                 load_weight=self.params.load_weight,
                 maintenance=self.maintenance,
+                retry_policy=self.retry_policy,
             )
         raise ValueError(f"unknown policy {name!r}")
 
@@ -131,7 +159,17 @@ class TopologyAwareOverlay:
         self._used_hosts.add(host)
         node_id = next(self._ids)
 
-        vector = self.space.measure(self.network, host)
+        if self.network.faults is not None:
+            # a fresh process on this host: it answers probes again
+            self.network.faults.revive_host(host)
+            vector = measure_vector_reliably(
+                self.network,
+                self.space.landmarks,
+                host,
+                policy=self.retry_policy or RetryPolicy(),
+            )
+        else:
+            vector = self.space.measure(self.network, host)
         self.ecan.can.join(node_id, host)
         self.store.register_identity(node_id, host, vector, capacity=capacity)
         self.store.publish(node_id)
@@ -153,6 +191,9 @@ class TopologyAwareOverlay:
         self._adaptive.discard(node_id)
         self.pubsub.unsubscribe_all(node_id)
         self.maintenance.on_departure(node_id, graceful=graceful)
+        if not graceful and self.network.faults is not None:
+            # crash-stop: the process is gone, the host answers nothing
+            self.network.faults.crash_host(node.host)
         self.ecan.leave(node_id)
 
     def random_member(self) -> int:

@@ -1,0 +1,144 @@
+"""Retry, timeout and backoff policies for the faulty network.
+
+Every layer that talks to the (fault-injectable) network shares one
+:class:`RetryPolicy`: a bounded number of attempts separated by
+exponential backoff that advances the *simulated* clock -- never
+wall-clock time -- so resilience experiments stay deterministic and
+can report recovery times in simulated milliseconds.
+
+Consumers receive a policy instance rather than importing this module
+(the soft-state and overlay packages sit *below* ``repro.core`` in
+the import graph):
+
+* eCAN routing retries each forwarding hop, skips expressway entries
+  that keep failing, and degrades to greedy CAN neighbors;
+* hybrid proximity search retries timed-out candidate probes and
+  falls back to pure landmark ranking when every probe times out;
+* periodic maintenance confirms a suspected death ``confirmations``
+  times before purging, eliminating false-positive purges under loss;
+* new joiners re-probe landmarks whose measurements were lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.faults import ProbeTimeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with sim-clock exponential backoff.
+
+    ``delay(k)`` is the wait after the ``k``-th failed attempt
+    (0-indexed): ``base_delay * backoff_factor**k`` capped at
+    ``max_delay``.  A policy with ``max_attempts=1`` never retries
+    (the "no-retry" baseline of the resilience experiments).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 50.0
+    backoff_factor: float = 2.0
+    max_delay: float = 2000.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+
+    # -- schedule ----------------------------------------------------------
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (simulated ms) after failed attempt ``attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.base_delay * self.backoff_factor**attempt, self.max_delay)
+
+    def schedule(self) -> tuple:
+        """All backoff delays a fully exhausted call sleeps through."""
+        return tuple(self.delay(k) for k in range(self.max_attempts - 1))
+
+    def total_delay(self) -> float:
+        """Simulated ms spent backing off when every attempt fails."""
+        return float(sum(self.schedule()))
+
+    # -- execution ---------------------------------------------------------
+
+    def call(self, fn, clock=None, retry_on=(ProbeTimeout,)):
+        """Run ``fn(attempt)`` until it succeeds or attempts run out.
+
+        Between attempts the simulated ``clock`` (if given) is advanced
+        by the backoff delay; the final failure re-raises.
+        """
+        last = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(attempt)
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 < self.max_attempts and clock is not None:
+                    clock.advance(self.delay(attempt))
+        raise last
+
+    def probe(self, network, u: int, v: int, category: str = "rtt_probe"):
+        """RTT probe with retries; each attempt is charged as usual."""
+        return self.call(
+            lambda attempt: network.rtt(u, v, category=category),
+            clock=network.clock,
+        )
+
+    def probe_alive(self, network, u: int, v: int, category: str = "liveness_probe") -> bool:
+        """True when some attempt of a liveness probe was answered."""
+        try:
+            self.probe(network, u, v, category=category)
+        except ProbeTimeout:
+            return False
+        return True
+
+
+#: the fire-and-forget baseline: one attempt, no waiting
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0)
+
+
+def measure_vector_reliably(
+    network,
+    landmarks,
+    host: int,
+    policy: RetryPolicy = None,
+    category: str = "landmark_probe",
+) -> np.ndarray:
+    """Measure a landmark vector under faults, re-probing lost entries.
+
+    Entries still missing after the policy's attempts are filled with
+    the worst successfully measured RTT -- a pessimistic estimate that
+    keeps the joiner operational (graceful degradation) instead of
+    stalling the join.  Raises :class:`ProbeTimeout` only if *every*
+    landmark stayed silent through every attempt.
+    """
+    if policy is None:
+        policy = RetryPolicy()
+    hosts = np.asarray(landmarks.hosts, dtype=np.int64)
+    vector = np.asarray(
+        network.rtt_many(int(host), hosts, category=category), dtype=np.float64
+    )
+    for attempt in range(policy.max_attempts - 1):
+        missing = np.isnan(vector)
+        if not missing.any():
+            break
+        network.clock.advance(policy.delay(attempt))
+        vector[missing] = network.rtt_many(
+            int(host), hosts[missing], category=category
+        )
+    missing = np.isnan(vector)
+    if missing.all():
+        raise ProbeTimeout(int(host), int(hosts[0]), reason="all landmarks silent")
+    if missing.any():
+        vector[missing] = float(np.nanmax(vector))
+    return vector

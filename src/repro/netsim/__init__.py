@@ -18,10 +18,21 @@ measurements with an in-process equivalent:
   sampling and an event clock.
 * :mod:`repro.netsim.events` -- a tiny discrete-event scheduler used
   for soft-state expiry, publish/subscribe and churn experiments.
+* :mod:`repro.netsim.faults` -- deterministic fault injection (probe
+  loss, timeouts, latency spikes, transit-domain partitions,
+  crash-stop failures) armed via :meth:`Network.arm_faults`.
 """
 
 from repro.netsim.distance import DistanceOracle
 from repro.netsim.events import EventScheduler
+from repro.netsim.faults import (
+    FAULT_CATEGORIES,
+    FaultInjector,
+    FaultPlan,
+    Partition,
+    ProbeResult,
+    ProbeTimeout,
+)
 from repro.netsim.latency import (
     GeneratedLatencyModel,
     LatencyModel,
@@ -42,6 +53,9 @@ from repro.netsim.transit_stub import (
 __all__ = [
     "DistanceOracle",
     "EventScheduler",
+    "FAULT_CATEGORIES",
+    "FaultInjector",
+    "FaultPlan",
     "GeneratedLatencyModel",
     "LatencyModel",
     "LinkClass",
@@ -50,6 +64,9 @@ __all__ = [
     "Network",
     "NodeKind",
     "NoisyLatencyModel",
+    "Partition",
+    "ProbeResult",
+    "ProbeTimeout",
     "Topology",
     "TransitStubConfig",
     "generate_transit_stub",

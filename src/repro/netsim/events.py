@@ -85,6 +85,19 @@ class EventScheduler:
         heapq.heappush(self._heap, event)
         return EventHandle(event)
 
+    def advance(self, duration: float) -> None:
+        """Move the clock forward *without* executing queued callbacks.
+
+        Used for in-line waits (retry backoff, probe timeouts) that
+        happen inside an event callback, where re-entering
+        :meth:`run_until` would drain unrelated events early.  Events
+        the clock skips over still run at the next ``run_*`` call
+        (their observed time never goes backwards).
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.now += duration
+
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._heap)
@@ -100,7 +113,9 @@ class EventScheduler:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self.now = event.time
+            # max(): an in-callback advance() may already have moved the
+            # clock past this event's scheduled time
+            self.now = max(self.now, event.time)
             event.callback()
             executed += 1
         self.now = max(self.now, time)
@@ -117,7 +132,7 @@ class EventScheduler:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self.now = event.time
+            self.now = max(self.now, event.time)
             event.callback()
             executed += 1
         if self._heap and executed >= max_events:

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.netsim.distance import DistanceOracle
 from repro.netsim.events import EventScheduler
+from repro.netsim.faults import FaultInjector, FaultPlan
 from repro.netsim.latency import LatencyModel
 from repro.netsim.transit_stub import Topology
 
@@ -84,22 +85,63 @@ class Network:
         )
         self.stats = MessageStats()
         self.clock = EventScheduler()
+        #: armed :class:`FaultInjector`, or None for the perfect network
+        self.faults = None
 
     @property
     def num_nodes(self) -> int:
         return self.topology.num_nodes
 
+    # -- fault injection ---------------------------------------------------
+
+    def arm_faults(self, plan=None, seed: int = 0) -> FaultInjector:
+        """Install (and arm) a fault injector over this network.
+
+        ``plan`` may be a :class:`FaultPlan`, an existing
+        :class:`FaultInjector`, or None for an all-defaults plan.
+        While armed, :meth:`rtt` may raise
+        :class:`~repro.netsim.faults.ProbeTimeout` and
+        :meth:`rtt_many` reports lost probes as ``NaN``.
+        """
+        if isinstance(plan, FaultInjector):
+            injector = plan
+            injector.network = self
+        else:
+            injector = FaultInjector(self, plan, seed=seed)
+        injector.armed = True
+        self.faults = injector
+        return injector
+
+    def disarm_faults(self) -> None:
+        """Return to the perfect network (keeps accumulated fault stats)."""
+        if self.faults is not None:
+            self.faults.armed = False
+        self.faults = None
+
     # -- measurement (charged) -------------------------------------------
 
     def rtt(self, u: int, v: int, category: str = "rtt_probe") -> float:
-        """Measure the RTT between hosts ``u`` and ``v`` (charged)."""
+        """Measure the RTT between hosts ``u`` and ``v`` (charged).
+
+        With faults armed the result is a
+        :class:`~repro.netsim.faults.ProbeResult` (a ``float``
+        subclass) or a raised
+        :class:`~repro.netsim.faults.ProbeTimeout`.
+        """
         self.stats.count(category)
+        if self.faults is not None:
+            return self.faults.probe(u, v)
         return 2.0 * self.oracle.distance(u, v)
 
     def rtt_many(self, u: int, hosts, category: str = "rtt_probe") -> np.ndarray:
-        """Measure RTTs from ``u`` to each host in ``hosts`` (charged)."""
+        """Measure RTTs from ``u`` to each host in ``hosts`` (charged).
+
+        With faults armed, lost/timed-out probes come back as ``NaN``.
+        """
         hosts = np.asarray(hosts, dtype=np.int64)
         self.stats.count(category, len(hosts))
+        if self.faults is not None:
+            return self.faults.probe_many(u, hosts)
         row = self.oracle.row(u)
         return 2.0 * row[hosts].astype(np.float64)
 

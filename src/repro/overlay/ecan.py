@@ -104,9 +104,21 @@ class EcanOverlay:
         rng=None,
         stats=None,
         policy: NeighborPolicy = None,
+        network=None,
+        retry_policy=None,
+        dead_entry_threshold: int = 3,
     ):
         self.can = CanOverlay(dims=dims, torus=torus, rng=rng, stats=stats)
         self.stats = stats
+        #: optional Network; only consulted for fault injection on hops
+        self.network = network
+        #: optional RetryPolicy driving per-hop resend + backoff; None
+        #: models fire-and-forget forwarding (a lost hop fails the route)
+        self.retry_policy = retry_policy
+        #: expressway entries are dropped after this many failed hops
+        self.dead_entry_threshold = dead_entry_threshold
+        #: (node, level, cell) -> consecutive failed delivery attempts
+        self._entry_failures: dict = {}
         # Neither the default policy nor fallback picks may draw from the
         # join-point stream (can.rng), or two overlays differing only in
         # policy would grow structurally different zone layouts.
@@ -148,6 +160,8 @@ class EcanOverlay:
         elif event == "leave":
             self._unindex(node_id)
             self._tables.pop(node_id, None)
+            for key in [k for k in self._entry_failures if k[0] == node_id]:
+                del self._entry_failures[key]
 
     def _unindex(self, node_id: int) -> None:
         for level, cell in self._indexed.pop(node_id, ()):
@@ -273,6 +287,48 @@ class EcanOverlay:
 
     # -- routing ---------------------------------------------------------------
 
+    def _try_hop(self, src_host: int, dst_host: int, category: str, result) -> bool:
+        """Attempt to deliver one forwarding hop, retrying per the policy.
+
+        Every send attempt is charged under ``category`` (a lost
+        message was still transmitted); injected faults are accounted
+        by the injector itself.  Without an armed injector the first
+        attempt always succeeds -- the perfect-network fast path.
+        """
+        self._count(category)
+        faults = self.network.faults if self.network is not None else None
+        if faults is None or not faults.armed:
+            return True
+        if faults.deliver(src_host, dst_host):
+            return True
+        policy = self.retry_policy
+        if policy is None:
+            return False
+        for attempt in range(1, policy.max_attempts):
+            self.network.clock.advance(policy.delay(attempt - 1))
+            result.retries += 1
+            self._count(category)
+            if faults.deliver(src_host, dst_host):
+                return True
+        return False
+
+    def _record_entry_failure(self, node_id: int, level: int, cell) -> None:
+        """One more failed delivery through an expressway entry.
+
+        After ``dead_entry_threshold`` consecutive failures the entry
+        is evicted so the next route re-selects through the policy.
+        """
+        key = (node_id, level, cell)
+        failures = self._entry_failures.get(key, 0) + 1
+        if failures >= self.dead_entry_threshold:
+            self._entry_failures.pop(key, None)
+            row = self._tables.get(node_id, {}).get(level)
+            if row is not None:
+                row.pop(cell, None)
+            self._count("expressway_dead_skip")
+        else:
+            self._entry_failures[key] = failures
+
     def route(
         self,
         start_node: int,
@@ -280,13 +336,24 @@ class EcanOverlay:
         category: str = "ecan_route",
         max_hops: int = 512,
     ) -> RouteResult:
-        """Prefix-style routing: expressway jumps, then CAN greedy hops."""
+        """Prefix-style routing: expressway jumps, then CAN greedy hops.
+
+        With faults armed, each hop is a (possibly lost) message send:
+        a :class:`RetryPolicy` resends with sim-clock backoff,
+        expressway entries that keep failing are skipped (and evicted
+        after ``dead_entry_threshold`` strikes) in favour of greedy
+        CAN neighbors, and alternative neighbors are tried before the
+        route is declared failed.  Without a policy a single lost hop
+        fails the route -- the fire-and-forget baseline.
+        """
         if start_node not in self.can.nodes:
             raise KeyError(f"start node {start_node} not present")
         path = [start_node]
         visited = {start_node}
+        unreachable: set = set()
         result = RouteResult(path=path)
         current = self.can.nodes[start_node]
+        degrade = self.retry_policy is not None
         while not current.contains(point):
             if len(path) > max_hops:
                 result.owner = None
@@ -305,27 +372,55 @@ class EcanOverlay:
                     current.node_id, diff_level, target_cell
                 )
                 result.repairs += int(repaired)
-                if entry is not None and entry not in visited:
-                    next_id = entry
-                    result.expressway_hops += 1
+                if entry is not None and entry not in visited and entry not in unreachable:
+                    if self._try_hop(
+                        current.host, self.can.nodes[entry].host, category, result
+                    ):
+                        next_id = entry
+                        result.expressway_hops += 1
+                        self._entry_failures.pop(
+                            (current.node_id, diff_level, target_cell), None
+                        )
+                    else:
+                        self._record_entry_failure(
+                            current.node_id, diff_level, target_cell
+                        )
+                        if not degrade:
+                            result.owner = None
+                            result.success = False
+                            return result
+                        unreachable.add(entry)
+                        result.degraded += 1
             if next_id is None:
-                best = None
-                for neighbor_id in current.neighbors:
-                    if neighbor_id in visited:
-                        continue
-                    neighbor = self.can.nodes[neighbor_id]
-                    dist = neighbor.distance_to_point(point, self.can.torus)
-                    if best is None or (dist, neighbor_id) < best:
-                        best = (dist, neighbor_id)
-                if best is None:
+                ranked = sorted(
+                    (
+                        self.can.nodes[n].distance_to_point(point, self.can.torus),
+                        n,
+                    )
+                    for n in current.neighbors
+                    if n not in visited and n not in unreachable
+                )
+                for _, neighbor_id in ranked:
+                    if self._try_hop(
+                        current.host,
+                        self.can.nodes[neighbor_id].host,
+                        category,
+                        result,
+                    ):
+                        next_id = neighbor_id
+                        result.can_hops += 1
+                        break
+                    if not degrade:
+                        result.owner = None
+                        result.success = False
+                        return result
+                    unreachable.add(neighbor_id)
+                if next_id is None:
                     result.owner = None
                     result.success = False
                     return result
-                next_id = best[1]
-                result.can_hops += 1
             current = self.can.nodes[next_id]
             visited.add(next_id)
             path.append(next_id)
-            self._count(category)
         result.owner = current.node_id
         return result

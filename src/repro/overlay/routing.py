@@ -22,6 +22,12 @@ class RouteResult:
         jumps and default CAN hops; both zero for plain CAN routes.
     repairs:
         Number of routing-table entries repaired on the fly.
+    retries:
+        Extra delivery attempts beyond the first, per hop, summed over
+        the route (nonzero only with faults armed and a retry policy).
+    degraded:
+        Expressway entries abandoned mid-route after failed delivery
+        attempts (the route fell back to greedy CAN neighbors).
     """
 
     path: list = field(default_factory=list)
@@ -30,6 +36,8 @@ class RouteResult:
     expressway_hops: int = 0
     can_hops: int = 0
     repairs: int = 0
+    retries: int = 0
+    degraded: int = 0
 
     @property
     def hops(self) -> int:

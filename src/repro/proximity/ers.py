@@ -70,12 +70,20 @@ class _CurveBuilder:
 
     def probe(self, network, src_host: int, dst_host: int, category: str) -> None:
         rtt = network.rtt(src_host, dst_host, category=category)
+        self.record(rtt, dst_host)
+
+    def record(self, rtt: float, dst_host: int) -> None:
+        """Account one (already measured or estimated) probe result."""
         self._count += 1
         if rtt < self._best:
             self._best = rtt
             self.probes.append(self._count)
             self.rtts.append(rtt)
             self.hosts.append(dst_host)
+
+    def failed(self) -> None:
+        """A probe that timed out still consumed budget."""
+        self._count += 1
 
     def build(self, control_messages: int = 0) -> SearchCurve:
         return SearchCurve(

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.netsim.faults import ProbeTimeout
 from repro.proximity.ers import SearchCurve, _CurveBuilder
 
 
@@ -87,6 +88,7 @@ def hybrid_search(
     category: str = "hybrid_probe",
     coordinates=None,
     query_coords=None,
+    retry_policy=None,
 ) -> SearchCurve:
     """Landmark-guided nearest-neighbor search; returns the probe curve.
 
@@ -94,8 +96,17 @@ def hybrid_search(
     ranking sees (in the full system: the records returned by a map
     lookup; in the Figure 3-6 experiments: every node in the system).
     The query host itself is skipped if present in the pool.
+
+    Under an armed fault injector, candidate probes may time out: a
+    ``retry_policy`` re-probes with sim-clock backoff before the
+    candidate is skipped (a timed-out candidate still consumes one
+    unit of probe budget).  If *every* probed candidate times out the
+    search degrades to landmark-only ranking -- the top-ranked
+    candidate is returned with its landmark-space distance standing in
+    for the unmeasurable RTT.
     """
     candidate_hosts = np.asarray(candidate_hosts, dtype=np.int64)
+    candidate_vectors = np.asarray(candidate_vectors, dtype=np.float64)
     order = rank_candidates(
         query_vector,
         candidate_vectors,
@@ -106,11 +117,28 @@ def hybrid_search(
         query_coords=query_coords,
     )
     builder = _CurveBuilder(method=f"lmk+rtt[{rank}]")
+    fallback_idx = None
     for idx in order:
         host = int(candidate_hosts[idx])
         if host == query_host:
             continue
-        builder.probe(network, query_host, host, category)
+        if fallback_idx is None:
+            fallback_idx = idx
+        try:
+            if retry_policy is None:
+                builder.probe(network, query_host, host, category)
+            else:
+                rtt = retry_policy.probe(network, query_host, host, category=category)
+                builder.record(float(rtt), host)
+        except ProbeTimeout:
+            builder.failed()
         if builder._count >= budget:
             break
+    if not builder.probes and fallback_idx is not None:
+        # landmark-only degradation: trust the ranking outright
+        estimate = float(
+            np.linalg.norm(candidate_vectors[fallback_idx] - query_vector)
+        )
+        builder.record(estimate, int(candidate_hosts[fallback_idx]))
+        builder.method = f"lmk-only[{rank}]"
     return builder.build()

@@ -9,10 +9,19 @@ points on the spectrum, all implemented here:
   :meth:`MaintenanceDriver.on_failed_use` and the dead record is
   purged then.
 * **periodic** -- "each owner of the map information can periodically
-  poll the liveliness of the nodes": a clock-driven sweep that pings
-  every recorded node (one charged probe each) and purges the dead.
+  poll the liveliness of the nodes": a clock-driven sweep where the
+  *hosting owner* of each record pings the recorded node through the
+  (fault-injectable) probe path and purges the dead.
 * **proactive** -- "update the map when a node is about to depart":
   graceful departures withdraw their own records.
+
+Liveness is decided by probes, not an oracle: a ping is answered only
+when the target is still an overlay member *and* the probe survives
+any injected faults.  Under probe loss a single silent ping is not
+proof of death, so a suspected death is confirmed ``confirmations``
+times (each round retried per the :class:`RetryPolicy`) before the
+record is purged -- eliminating false-positive purges at the price of
+extra probes for genuinely dead nodes.
 
 Independent of the policy, records lease-expire through
 :meth:`SoftStateStore.expire_stale`, which the driver also runs on
@@ -23,6 +32,7 @@ from __future__ import annotations
 
 import enum
 
+from repro.netsim.faults import ProbeTimeout
 from repro.softstate.store import SoftStateStore
 
 
@@ -42,14 +52,28 @@ class MaintenanceDriver:
         network,
         policy: MaintenancePolicy = MaintenancePolicy.PROACTIVE,
         poll_interval: float = 60.0,
+        retry_policy=None,
+        confirmations: int = 2,
     ):
         self.store = store
         self.ecan = ecan
         self.network = network
         self.policy = policy
         self.poll_interval = poll_interval
+        if retry_policy is None:
+            from repro.core.reliability import RetryPolicy
+
+            retry_policy = RetryPolicy()
+        #: RetryPolicy for liveness pings (attempts + sim-clock backoff)
+        self.retry_policy = retry_policy
+        #: silent ping rounds required before a record is declared dead
+        self.confirmations = confirmations
         self._timer = None
         self.purged = 0
+        #: purges of records whose node was in fact still a member --
+        #: the simulator knows ground truth, so resilience experiments
+        #: can report the false-purge rate directly
+        self.false_purges = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -83,18 +107,70 @@ class MaintenanceDriver:
             return removed
         return 0
 
+    def _ping(self, src_host: int, dst_host: int, alive: bool) -> bool:
+        """One charged liveness ping; True when an answer came back.
+
+        An application-level ping is answered only when the target
+        process is still an overlay member (``alive``) *and* the probe
+        itself survives any injected faults -- the cost is paid either
+        way.
+        """
+        try:
+            self.network.rtt(src_host, dst_host, category="maintenance_ping")
+        except ProbeTimeout:
+            return False
+        return alive
+
+    def _confirm_dead(self, src_host: int, dst_host: int, alive: bool) -> bool:
+        """N-confirmation probing: dead only if every round stays silent.
+
+        Each confirmation round is retried per the
+        :class:`RetryPolicy` with sim-clock backoff, so under loss the
+        probability of a false death verdict is
+        ``loss**(confirmations * max_attempts)``.
+        """
+        policy = self.retry_policy
+        clock = self.network.clock
+        for _ in range(max(1, self.confirmations)):
+            attempts = policy.max_attempts if policy is not None else 1
+            for attempt in range(attempts):
+                if attempt and policy is not None:
+                    clock.advance(policy.delay(attempt - 1))
+                if self._ping(src_host, dst_host, alive):
+                    return False
+        return True
+
     def poll_once(self) -> int:
-        """One polling sweep: ping every recorded node, purge the dead."""
-        dead = set()
-        pings = 0
+        """One polling sweep: the owner of each record pings its node.
+
+        Each record costs at least one charged ``maintenance_ping``
+        through the fault-injectable probe path; suspected deaths are
+        re-probed per :meth:`_confirm_dead` before the purge.
+        """
+        verdicts: dict = {}
         for region, bucket in list(self.store.maps.items()):
-            for node_id in list(bucket):
-                pings += 1
-                if node_id not in self.ecan.can.nodes:
-                    dead.add(node_id)
-        self.network.stats.count("maintenance_ping", pings)
+            for node_id, stored in list(bucket.items()):
+                owner = self.ecan.can.owner_of_point(stored.position)
+                owner_node = self.ecan.can.nodes.get(owner)
+                if owner_node is None:
+                    continue
+                src_host = owner_node.host
+                alive = node_id in self.ecan.can.nodes
+                if self._ping(src_host, stored.record.host, alive):
+                    # any answered ping this sweep proves liveness, even
+                    # over a prior (mistaken) dead verdict
+                    verdicts[node_id] = True
+                    continue
+                if node_id in verdicts:
+                    continue  # verdict already settled; the ping was still paid
+                verdicts[node_id] = not self._confirm_dead(
+                    src_host, stored.record.host, alive
+                )
+        dead = {n for n, verdict in verdicts.items() if not verdict}
         removed = 0
         for node_id in dead:
+            if node_id in self.ecan.can.nodes:
+                self.false_purges += 1
             removed += self.store.purge_record(node_id, charge=False)
         removed += self.store.expire_stale()
         self.purged += removed

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.netsim.faults import ProbeTimeout
 from repro.overlay.ecan import NeighborPolicy
 from repro.softstate.maps import Region
 from repro.softstate.store import SoftStateStore
@@ -41,6 +42,7 @@ class SoftStateNeighborPolicy(NeighborPolicy):
         rtt_budget: int = 10,
         load_weight: float = 0.0,
         maintenance=None,
+        retry_policy=None,
     ):
         self.store = store
         self.network = network
@@ -49,6 +51,8 @@ class SoftStateNeighborPolicy(NeighborPolicy):
         self.load_weight = load_weight
         #: optional MaintenanceDriver told about dead records (reactive)
         self.maintenance = maintenance
+        #: optional RetryPolicy for confirmation probes under faults
+        self.retry_policy = retry_policy
         self._selecting = False
 
     def select(self, ecan, node_id, level, cell, candidates):
@@ -86,12 +90,26 @@ class SoftStateNeighborPolicy(NeighborPolicy):
         host = ecan.can.nodes[node_id].host
         best = None
         for record in alive[: self.rtt_budget]:
-            rtt = self.network.rtt(host, record.host, category="neighbor_probe")
+            try:
+                if self.retry_policy is not None:
+                    rtt = self.retry_policy.probe(
+                        self.network, host, record.host, category="neighbor_probe"
+                    )
+                else:
+                    rtt = self.network.rtt(host, record.host, category="neighbor_probe")
+            except ProbeTimeout:
+                # candidate unconfirmable right now; skip rather than stall
+                self.network.stats.count("neighbor_probe_timeout")
+                continue
             score = rtt
             if self.load_weight > 0:
                 score = rtt * (1.0 + self.load_weight * min(record.utilization, 10.0))
             if best is None or (score, record.node_id) < best[:2]:
                 best = (score, record.node_id)
+        if best is None:
+            # every confirmation probe timed out: degrade to landmark-only
+            # ranking (the lookup already sorted by landmark distance)
+            return alive[0].node_id
         return best[1]
 
 

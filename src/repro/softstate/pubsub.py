@@ -98,11 +98,24 @@ class Subscription:
 
 @dataclass
 class DeliveryReport:
-    """Accounting for one notification fan-out."""
+    """Accounting for one notification fan-out.
+
+    ``subscribers`` is every matching subscriber; ``delivered`` the
+    ones whose tree path completed (each acknowledged back to the
+    rendezvous, charged as ``pubsub_ack``); ``failed`` the ones whose
+    path broke -- those are *not* counted as delivered, and the
+    anti-entropy loop re-syncs them later.
+    """
 
     event: MapEvent
     subscribers: list
     tree_edges: int
+    delivered: list = field(default_factory=list)
+    failed: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
 
 
 class PubSubService:
@@ -118,6 +131,11 @@ class PubSubService:
         self.deliveries: list = []
         #: set False to suspend delivery (e.g. while bulk-building)
         self.enabled = True
+        #: subscriber -> [(Subscription, MapEvent)] awaiting re-sync
+        self._missed: dict = {}
+        #: notifications recovered by anti-entropy so far
+        self.resynced = 0
+        self._anti_entropy_timer = None
         store.hooks.append(self._on_event)
 
     # -- subscription management ----------------------------------------------
@@ -190,13 +208,25 @@ class PubSubService:
         if not matching:
             return
         rendezvous = self._rendezvous_of(event)
-        edges = self._deliver_tree(rendezvous, [s.subscriber for s in matching])
+        edges, delivered, failed = self._deliver_tree(
+            rendezvous, [s.subscriber for s in matching]
+        )
         self.network.stats.count("pubsub_notify", edges)
+        # each completed delivery is acknowledged back to the rendezvous
+        self.network.stats.count("pubsub_ack", len(delivered))
         report = DeliveryReport(
-            event=event, subscribers=[s.subscriber for s in matching], tree_edges=edges
+            event=event,
+            subscribers=[s.subscriber for s in matching],
+            tree_edges=edges,
+            delivered=delivered,
+            failed=failed,
         )
         self.deliveries.append(report)
+        missed = set(failed)
         for sub in matching:
+            if sub.subscriber in missed:
+                self._missed.setdefault(sub.subscriber, []).append((sub, event))
+                continue
             if sub.callback is not None:
                 sub.callback(sub, event)
 
@@ -209,26 +239,98 @@ class PubSubService:
         )
         return self.ecan.can.owner_of_point(position)
 
-    def _deliver_tree(self, rendezvous: int, subscribers) -> int:
-        """Count the distinct overlay edges of the notification tree."""
+    def _deliver_tree(self, rendezvous: int, subscribers) -> tuple:
+        """Walk the notification tree; returns (edges, delivered, failed).
+
+        The cost is the number of distinct overlay edges (sharing is
+        the point of the tree).  A subscriber whose routing path broke
+        is a *failed* delivery -- it is recorded as such (charged
+        ``pubsub_notify_failed``), never fabricated as an edge, so
+        resilience experiments can see notification loss.
+        """
         edges = set()
+        delivered, failed = [], []
         for subscriber in subscribers:
             if subscriber == rendezvous:
+                delivered.append(subscriber)
                 continue
             node = self.ecan.can.nodes.get(subscriber)
             if node is None:
+                failed.append(subscriber)
                 continue
             target = node.zone.center()
             result = self.ecan.route(rendezvous, target, category=None)
             if not result.success:
-                edges.add((rendezvous, subscriber))
+                failed.append(subscriber)
+                self.network.stats.count("pubsub_notify_failed")
                 continue
+            delivered.append(subscriber)
             for a, b in zip(result.path, result.path[1:]):
                 edges.add((a, b))
-        return len(edges)
+        return len(edges), delivered, failed
+
+    # -- anti-entropy ----------------------------------------------------------
+
+    def start_anti_entropy(self, interval: float = 120.0) -> None:
+        """Arm the clock-driven re-sync loop for missed notifications.
+
+        Each tick, every subscriber with missed notifications pulls
+        them from the rendezvous (charged as ``pubsub_resync``
+        routes); deliveries that fail again stay queued for the next
+        tick.
+        """
+        if self._anti_entropy_timer is not None:
+            return
+        self._anti_entropy_timer = self.network.clock.schedule_every(
+            interval, self.resync_once
+        )
+
+    def stop_anti_entropy(self) -> None:
+        if self._anti_entropy_timer is not None:
+            self._anti_entropy_timer.cancel()
+            self._anti_entropy_timer = None
+
+    def resync_once(self) -> int:
+        """One anti-entropy round; returns notifications recovered."""
+        recovered = 0
+        for subscriber in list(self._missed):
+            pending = self._missed.pop(subscriber, [])
+            if subscriber not in self.ecan.can.nodes:
+                continue  # subscriber left; its backlog dies with it
+            still_missed = []
+            for sub, event in pending:
+                if sub.sub_id not in self._by_id:
+                    continue  # unsubscribed in the meantime
+                position = map_position(
+                    event.record.landmark_number,
+                    self.store.space.total_bits,
+                    event.region,
+                    self.store.condense_rate,
+                )
+                result = self.ecan.route(
+                    subscriber, position, category="pubsub_resync"
+                )
+                if not result.success:
+                    still_missed.append((sub, event))
+                    continue
+                recovered += 1
+                self.resynced += 1
+                if sub.callback is not None:
+                    sub.callback(sub, event)
+            if still_missed:
+                self._missed[subscriber] = still_missed
+        return recovered
 
     # -- diagnostics ---------------------------------------------------------------
 
     def delivery_messages(self) -> int:
         """Total tree edges used across all deliveries so far."""
         return sum(d.tree_edges for d in self.deliveries)
+
+    def missed_count(self) -> int:
+        """Notifications currently awaiting anti-entropy re-sync."""
+        return sum(len(pending) for pending in self._missed.values())
+
+    def failed_deliveries(self) -> int:
+        """Total failed per-subscriber deliveries across all reports."""
+        return sum(len(d.failed) for d in self.deliveries)

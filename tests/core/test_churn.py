@@ -74,6 +74,40 @@ class TestDriver:
         stretch = overlay.measure_stretch(samples=20, rng=rng)
         assert stretch.size > 0
 
+    def test_trace_replays_relative_to_first_use_epoch(self, overlay):
+        """Event times are trace-relative: a clock another experiment
+        already advanced must not make the whole trace fire instantly."""
+        clock = overlay.network.clock
+        clock.run_until(500.0)
+        driver = ChurnDriver(overlay)
+        driver.apply(ChurnEvent(time=10.0, kind="join"))
+        assert clock.now == 510.0
+        driver.apply(ChurnEvent(time=25.0, kind="join"))
+        assert clock.now == 525.0
+
+    def test_explicit_epoch_overrides_default(self, overlay):
+        clock = overlay.network.clock
+        clock.run_until(100.0)
+        driver = ChurnDriver(overlay)
+        driver.apply(ChurnEvent(time=5.0, kind="join"), epoch=200.0)
+        assert clock.now == 205.0
+
+    def test_past_event_never_rewinds_clock(self, overlay):
+        clock = overlay.network.clock
+        driver = ChurnDriver(overlay)
+        driver.apply(ChurnEvent(time=50.0, kind="join"))
+        # trace disorder (or an epoch in the past) must not move time back
+        driver.apply(ChurnEvent(time=10.0, kind="join"))
+        assert clock.now == 50.0
+
+    def test_skipped_events_not_counted_as_applied(self, overlay):
+        driver = ChurnDriver(overlay, min_nodes=len(overlay))
+        driver.apply(ChurnEvent(time=1.0, kind="leave"))
+        driver.apply(ChurnEvent(time=2.0, kind="leave"))
+        driver.apply(ChurnEvent(time=3.0, kind="join"))
+        assert driver.skipped == 2
+        assert driver.applied == 1
+
     def test_measurement_traffic_not_charged(self, overlay, rng):
         driver = ChurnDriver(overlay, rng=rng)
         stats = overlay.network.stats

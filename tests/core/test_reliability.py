@@ -1,0 +1,120 @@
+"""Retry policies: backoff schedule, execution, reliable measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core import RetryPolicy, measure_vector_reliably
+from repro.core.reliability import NO_RETRY
+from repro.netsim import FaultPlan, ProbeTimeout
+from repro.proximity.landmarks import select_landmarks
+
+
+class TestSchedule:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, backoff_factor=2.0, max_delay=35.0
+        )
+        assert policy.schedule() == (10.0, 20.0, 35.0, 35.0)
+        assert policy.total_delay() == 100.0
+        assert policy.delay(0) == 10.0
+        assert policy.delay(10) == 35.0
+
+    def test_no_retry_baseline_never_waits(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.schedule() == ()
+        assert NO_RETRY.total_delay() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=100.0, max_delay=10.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(-1)
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self, tiny_network):
+        policy = RetryPolicy(max_attempts=3, base_delay=5.0)
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 2:
+                raise ProbeTimeout(0, 1)
+            return "ok"
+
+        start = tiny_network.clock.now
+        assert policy.call(flaky, clock=tiny_network.clock) == "ok"
+        assert attempts == [0, 1, 2]
+        # two backoffs were slept through on the simulated clock
+        assert tiny_network.clock.now == start + 5.0 + 10.0
+
+    def test_exhaustion_reraises_last(self, tiny_network):
+        policy = RetryPolicy(max_attempts=2, base_delay=1.0)
+
+        def always_lost(attempt):
+            raise ProbeTimeout(0, 1, reason=f"attempt-{attempt}")
+
+        with pytest.raises(ProbeTimeout) as exc_info:
+            policy.call(always_lost, clock=tiny_network.clock)
+        assert exc_info.value.reason == "attempt-1"
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise KeyError("not a network fault")
+
+        with pytest.raises(KeyError):
+            policy.call(broken)
+        assert calls == [0]
+
+    def test_probe_retries_through_loss(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        # seed chosen so the first draw is a loss and a later one is not
+        injector = tiny_network.arm_faults(FaultPlan(probe_loss_rate=0.5), seed=3)
+        policy = RetryPolicy(max_attempts=8, base_delay=1.0)
+        rtt = policy.probe(tiny_network, u, v)
+        assert float(rtt) > 0
+        assert injector.injected["fault_probe_lost"] >= 1
+        assert policy.probe_alive(tiny_network, u, v)
+        tiny_network.disarm_faults()
+
+
+class TestReliableMeasurement:
+    def test_matches_plain_measurement_without_faults(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 6, rng)
+        host = int(tiny_network.topology.stub_nodes()[0])
+        vector = measure_vector_reliably(tiny_network, landmarks, host)
+        plain = tiny_network.rtt_many(host, landmarks.hosts)
+        assert np.allclose(vector, plain)
+
+    def test_reprobes_lost_entries(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 8, rng)
+        host = int(tiny_network.topology.stub_nodes()[0])
+        tiny_network.arm_faults(FaultPlan(probe_loss_rate=0.4), seed=11)
+        vector = measure_vector_reliably(
+            tiny_network,
+            landmarks,
+            host,
+            policy=RetryPolicy(max_attempts=6, base_delay=1.0),
+        )
+        assert not np.isnan(vector).any()
+        assert (vector >= 0).all()
+        tiny_network.disarm_faults()
+
+    def test_all_silent_raises(self, tiny_network, rng):
+        landmarks = select_landmarks(tiny_network, 4, rng)
+        host = int(tiny_network.topology.stub_nodes()[0])
+        tiny_network.arm_faults(FaultPlan(probe_loss_rate=1.0), seed=0)
+        with pytest.raises(ProbeTimeout):
+            measure_vector_reliably(
+                tiny_network, landmarks, host, policy=RetryPolicy(max_attempts=2)
+            )
+        tiny_network.disarm_faults()

@@ -1,0 +1,189 @@
+"""Fault injection: determinism, accounting, partitions, crashes."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import FaultInjector, FaultPlan, Partition, ProbeResult, ProbeTimeout
+
+
+def fault_sequence(network, plan, seed, pairs):
+    """Replay ``pairs`` through a fresh injector; record each outcome."""
+    injector = network.arm_faults(plan, seed=seed)
+    outcomes = []
+    try:
+        for u, v in pairs:
+            try:
+                outcomes.append(round(float(network.rtt(u, v)), 9))
+            except ProbeTimeout as exc:
+                outcomes.append(exc.reason)
+    finally:
+        network.disarm_faults()
+    return outcomes, injector
+
+
+class TestPlanValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            FaultPlan(probe_loss_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(message_loss_rate=-0.1)
+
+    def test_spike_factor_and_deadline(self):
+        with pytest.raises(ValueError):
+            FaultPlan(latency_spike_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(probe_timeout_ms=0.0)
+
+    def test_partition_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            Partition(start=10.0, end=10.0, domains=(0,))
+
+    def test_with_loss_sets_both_rates(self):
+        plan = FaultPlan().with_loss(0.25)
+        assert plan.probe_loss_rate == 0.25
+        assert plan.message_loss_rate == 0.25
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self, tiny_network, rng):
+        hosts = tiny_network.topology.stub_nodes()
+        pairs = [
+            tuple(int(h) for h in rng.choice(hosts, size=2, replace=False))
+            for _ in range(200)
+        ]
+        plan = FaultPlan(probe_loss_rate=0.2, latency_spike_rate=0.1)
+        first, inj_a = fault_sequence(tiny_network, plan, seed=5, pairs=pairs)
+        second, inj_b = fault_sequence(tiny_network, plan, seed=5, pairs=pairs)
+        assert first == second
+        assert inj_a.injected == inj_b.injected
+        assert "lost" in first  # the rate is high enough to manifest
+
+    def test_different_seed_diverges(self, tiny_network, rng):
+        hosts = tiny_network.topology.stub_nodes()
+        pairs = [
+            tuple(int(h) for h in rng.choice(hosts, size=2, replace=False))
+            for _ in range(200)
+        ]
+        plan = FaultPlan(probe_loss_rate=0.2)
+        first, _ = fault_sequence(tiny_network, plan, seed=5, pairs=pairs)
+        second, _ = fault_sequence(tiny_network, plan, seed=6, pairs=pairs)
+        assert first != second
+
+
+class TestProbeFaults:
+    def test_unarmed_network_unchanged(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        rtt = tiny_network.rtt(int(hosts[0]), int(hosts[1]))
+        assert not isinstance(rtt, ProbeResult)
+        assert tiny_network.faults is None
+
+    def test_armed_probe_returns_probe_result(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        tiny_network.arm_faults(FaultPlan(), seed=1)
+        rtt = tiny_network.rtt(int(hosts[0]), int(hosts[1]))
+        assert isinstance(rtt, ProbeResult)
+        assert rtt.rtt == pytest.approx(float(rtt))
+        tiny_network.disarm_faults()
+        plain = tiny_network.rtt(int(hosts[0]), int(hosts[1]))
+        assert float(plain) == pytest.approx(float(rtt))
+
+    def test_loss_charged_in_stats_and_tally(self, tiny_network, rng):
+        hosts = tiny_network.topology.stub_nodes()
+        injector = tiny_network.arm_faults(FaultPlan(probe_loss_rate=1.0), seed=2)
+        with pytest.raises(ProbeTimeout):
+            tiny_network.rtt(int(hosts[0]), int(hosts[1]))
+        assert tiny_network.stats.get("fault_probe_lost") == 1
+        assert injector.injected["fault_probe_lost"] == 1
+        assert injector.injected_total() == 1
+        tiny_network.disarm_faults()
+
+    def test_spike_inflates_rtt(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        base = float(tiny_network.rtt(u, v))
+        tiny_network.arm_faults(
+            FaultPlan(latency_spike_rate=1.0, latency_spike_factor=3.0), seed=3
+        )
+        spiked = tiny_network.rtt(u, v)
+        assert spiked.spiked
+        assert float(spiked) == pytest.approx(3.0 * base)
+        tiny_network.disarm_faults()
+
+    def test_deadline_turns_spike_into_timeout(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        base = float(tiny_network.rtt(u, v))
+        tiny_network.arm_faults(
+            FaultPlan(
+                latency_spike_rate=1.0,
+                latency_spike_factor=4.0,
+                probe_timeout_ms=2.0 * base,
+            ),
+            seed=4,
+        )
+        with pytest.raises(ProbeTimeout) as exc_info:
+            tiny_network.rtt(u, v)
+        assert exc_info.value.reason == "timeout"
+        assert tiny_network.stats.get("fault_probe_timeout") == 1
+        tiny_network.disarm_faults()
+
+    def test_rtt_many_marks_lost_probes_nan(self, tiny_network):
+        hosts = [int(h) for h in tiny_network.topology.stub_nodes()[:8]]
+        tiny_network.arm_faults(FaultPlan(probe_loss_rate=0.5), seed=8)
+        vector = tiny_network.rtt_many(hosts[0], hosts[1:])
+        assert np.isnan(vector).any()
+        assert (~np.isnan(vector)).any()
+        tiny_network.disarm_faults()
+
+
+class TestPartitions:
+    def test_partition_severs_only_during_window(self, tiny_network):
+        domains = tiny_network.topology.transit_domain
+        stubs = tiny_network.topology.stub_nodes()
+        inside = next(int(h) for h in stubs if domains[h] == 0)
+        outside = next(int(h) for h in stubs if domains[h] != 0)
+        plan = FaultPlan(
+            partitions=(Partition(start=100.0, end=200.0, domains=(0,)),)
+        )
+        tiny_network.arm_faults(plan, seed=0)
+        assert float(tiny_network.rtt(inside, outside)) > 0  # before the window
+        tiny_network.clock.advance(150.0)
+        with pytest.raises(ProbeTimeout) as exc_info:
+            tiny_network.rtt(inside, outside)
+        assert exc_info.value.reason == "fault_partition_drop"
+        tiny_network.clock.advance(100.0)  # window over
+        assert float(tiny_network.rtt(inside, outside)) > 0
+        tiny_network.disarm_faults()
+
+    def test_same_side_traffic_unaffected(self, tiny_network):
+        domains = tiny_network.topology.transit_domain
+        stubs = tiny_network.topology.stub_nodes()
+        both = [int(h) for h in stubs if domains[h] == 0][:2]
+        plan = FaultPlan(partitions=(Partition(start=0.0, end=1e9, domains=(0,)),))
+        tiny_network.arm_faults(plan, seed=0)
+        assert float(tiny_network.rtt(both[0], both[1])) >= 0
+        tiny_network.disarm_faults()
+
+
+class TestCrashStop:
+    def test_crashed_host_answers_nothing_until_revived(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        injector = tiny_network.arm_faults(FaultPlan(), seed=0)
+        injector.crash_host(v)
+        with pytest.raises(ProbeTimeout) as exc_info:
+            tiny_network.rtt(u, v)
+        assert exc_info.value.reason == "fault_crash_drop"
+        injector.revive_host(v)
+        assert float(tiny_network.rtt(u, v)) > 0
+        tiny_network.disarm_faults()
+
+    def test_message_delivery_respects_crash(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        injector = tiny_network.arm_faults(FaultPlan(), seed=0)
+        assert injector.deliver(u, v)
+        injector.crash_host(u)
+        assert not injector.deliver(u, v)
+        assert injector.injected["fault_crash_drop"] == 1
+        tiny_network.disarm_faults()

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.reliability import NO_RETRY
+from repro.netsim import FaultPlan
 from repro.softstate import MaintenanceDriver, MaintenancePolicy
 
 
@@ -87,6 +89,63 @@ class TestPeriodic:
         overlay.maintenance.policy = MaintenancePolicy.PROACTIVE
         overlay.maintenance.start()
         assert overlay.maintenance._timer is None
+
+    def test_liveness_decided_by_probes_not_oracle(self, overlay):
+        """The sweep pings every record through the charged probe path."""
+        overlay.maintenance.policy = MaintenancePolicy.PERIODIC
+        before = overlay.network.stats.snapshot()
+        overlay.maintenance.poll_once()
+        pings = overlay.network.stats.delta(before)["maintenance_ping"]
+        records = sum(len(b) for b in overlay.store.maps.values())
+        assert pings >= records  # at least one ping per record
+
+    def test_no_false_purges_under_loss_with_confirmation(self, overlay):
+        """N-confirmation probing never purges a live member."""
+        overlay.maintenance.policy = MaintenancePolicy.PERIODIC
+        entries = overlay.store.total_entries()
+        overlay.arm_faults(FaultPlan(probe_loss_rate=0.15), seed=9)
+        try:
+            overlay.maintenance.poll_once()
+        finally:
+            overlay.disarm_faults()
+        assert overlay.maintenance.false_purges == 0
+        assert overlay.store.total_entries() == entries
+
+    def test_unconfirmed_baseline_false_purges_under_loss(self, overlay):
+        """The fire-and-forget baseline mistakes lost pings for deaths."""
+        overlay.maintenance.policy = MaintenancePolicy.PERIODIC
+        overlay.maintenance.retry_policy = NO_RETRY
+        overlay.maintenance.confirmations = 1
+        overlay.arm_faults(FaultPlan(probe_loss_rate=0.7), seed=9)
+        try:
+            overlay.maintenance.poll_once()
+        finally:
+            overlay.disarm_faults()
+        assert overlay.maintenance.false_purges > 0
+
+    def test_crash_stop_purged_through_probe_path(self, overlay):
+        """With faults armed, a crashed host times out and is purged --
+        after confirmation rounds, so no live node rides along."""
+        overlay.maintenance.policy = MaintenancePolicy.PERIODIC
+        overlay.arm_faults(FaultPlan(), seed=0)
+        try:
+            victim = overlay.node_ids[2]
+            overlay.remove_node(victim, graceful=False)
+            assert overlay.maintenance.stale_entries() > 0
+            overlay.maintenance.poll_once()
+            assert overlay.maintenance.stale_entries() == 0
+            assert overlay.maintenance.false_purges == 0
+        finally:
+            overlay.disarm_faults()
+
+    def test_confirmation_backoff_advances_sim_clock(self, overlay):
+        overlay.maintenance.policy = MaintenancePolicy.PERIODIC
+        victim = overlay.node_ids[1]
+        overlay.remove_node(victim, graceful=False)
+        start = overlay.network.clock.now
+        overlay.maintenance.poll_once()
+        # confirming the death slept through retry backoffs in sim time
+        assert overlay.network.clock.now > start
 
     def test_poll_also_expires_leases(self, overlay):
         overlay.maintenance.policy = MaintenancePolicy.PERIODIC

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.netsim import FaultPlan
 from repro.softstate import Condition, Region
 from repro.softstate.records import NodeRecord
 from repro.softstate.store import EventKind, MapEvent
@@ -178,6 +179,112 @@ class TestSubscriptions:
         overlay.pubsub.enabled = False
         overlay.add_node()
         assert received == []
+
+    def test_delivery_reports_acks(self, overlay):
+        """On a healthy network every matching subscriber acks."""
+        for node_id in overlay.node_ids[:8]:
+            for cell in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                overlay.pubsub.subscribe(
+                    node_id, Region(1, cell), Condition.node_joined()
+                )
+        overlay.pubsub.deliveries.clear()
+        before = overlay.network.stats.snapshot()
+        overlay.add_node()
+        assert overlay.pubsub.deliveries
+        delta = overlay.network.stats.delta(before)
+        acked = sum(len(d.delivered) for d in overlay.pubsub.deliveries)
+        assert delta.get("pubsub_ack", 0) == acked
+        for report in overlay.pubsub.deliveries:
+            assert report.complete
+            assert sorted(report.delivered) == sorted(report.subscribers)
+
+
+class TestLossyDelivery:
+    def subscribe_all_cells(self, overlay, subscribers, received):
+        for node_id in subscribers:
+            for cell in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                overlay.pubsub.subscribe(
+                    node_id,
+                    Region(1, cell),
+                    Condition.node_joined(),
+                    callback=lambda sub, event: received.append(sub.subscriber),
+                )
+
+    def test_broken_path_recorded_as_failed_not_fabricated(self, overlay):
+        received = []
+        self.subscribe_all_cells(overlay, overlay.node_ids[:8], received)
+        overlay.pubsub.deliveries.clear()
+        overlay.arm_faults(FaultPlan(message_loss_rate=1.0), seed=0)
+        try:
+            overlay.add_node()
+        finally:
+            overlay.disarm_faults()
+        reports = overlay.pubsub.deliveries
+        assert reports
+        failed = [s for d in reports for s in d.failed]
+        assert failed, "total message loss must break some delivery"
+        for report in reports:
+            assert set(report.failed).isdisjoint(report.delivered)
+            if report.failed:
+                assert not report.complete
+        # a failed path fires no callback: only delivered subscribers heard
+        delivered_all = {s for r in reports for s in r.delivered}
+        assert set(received) <= delivered_all
+        assert overlay.pubsub.missed_count() == len(failed)
+        assert overlay.pubsub.failed_deliveries() == len(failed)
+        assert overlay.network.stats.get("pubsub_notify_failed") >= 1
+
+    def test_anti_entropy_recovers_missed_notifications(self, overlay):
+        received = []
+        self.subscribe_all_cells(overlay, overlay.node_ids[:8], received)
+        overlay.pubsub.deliveries.clear()
+        overlay.arm_faults(FaultPlan(message_loss_rate=1.0), seed=0)
+        try:
+            overlay.add_node()
+        finally:
+            overlay.disarm_faults()
+        missed = overlay.pubsub.missed_count()
+        assert missed > 0
+        before = overlay.network.stats.snapshot()
+        recovered = overlay.pubsub.resync_once()
+        assert recovered == missed
+        assert overlay.pubsub.missed_count() == 0
+        assert overlay.pubsub.resynced == recovered
+        # the pull was charged as resync routing traffic
+        assert overlay.network.stats.delta(before).get("pubsub_resync", 0) >= 1
+        assert len(received) >= recovered
+
+    def test_anti_entropy_timer_runs_on_clock(self, overlay):
+        received = []
+        self.subscribe_all_cells(overlay, overlay.node_ids[:8], received)
+        overlay.arm_faults(FaultPlan(message_loss_rate=1.0), seed=0)
+        try:
+            overlay.add_node()
+        finally:
+            overlay.disarm_faults()
+        assert overlay.pubsub.missed_count() > 0
+        overlay.pubsub.start_anti_entropy(interval=60.0)
+        overlay.network.clock.run_for(100.0)
+        assert overlay.pubsub.missed_count() == 0
+        overlay.pubsub.stop_anti_entropy()
+
+    def test_departed_subscriber_backlog_dropped(self, overlay):
+        received = []
+        self.subscribe_all_cells(overlay, overlay.node_ids[:4], received)
+        overlay.arm_faults(FaultPlan(message_loss_rate=1.0), seed=0)
+        try:
+            overlay.add_node()
+        finally:
+            overlay.disarm_faults()
+        missed_subs = [s for s in overlay.pubsub._missed]
+        assert missed_subs
+        gone = missed_subs[0]
+        overlay.ecan.leave(gone)  # crash-leave: subscription objects remain
+        heard_before = received.count(gone)
+        overlay.pubsub.resync_once()
+        assert gone not in overlay.pubsub._missed
+        # the dropped backlog never fired the departed subscriber's callback
+        assert received.count(gone) == heard_before
 
     def test_departed_subscriber_not_notified(self, overlay):
         received = []
