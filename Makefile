@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -22,13 +22,25 @@ bench-paper:
 report:
 	$(PYTHON) -m repro report
 
+# One core + one ext bench at quick scale, then validate the JSON
+# records against benchmarks/schema.json and refresh the repo-root
+# BENCH_core.json / BENCH_ext.json perf-trajectory files.
+bench-smoke:
+	REPRO_SCALE=quick $(PYTHON) -m pytest \
+		benchmarks/bench_fig05_hybrid_small.py \
+		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
+	$(PYTHON) scripts/bench_report.py
+
 # What the GitHub workflow runs: the full test suite plus quick-scale
 # smoke runs of the resilience benches (timing disabled -- the assertions
-# on success rate / false purges are the point).
+# on success rate / false purges are the point) and the bench-smoke
+# JSON trajectory check.
 ci:
 	$(PYTHON) -m pytest tests/ -q
 	$(PYTHON) -m pytest benchmarks/bench_ext_failure_resilience.py \
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
+	$(MAKE) bench-smoke
+	$(PYTHON) scripts/bench_report.py --check
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex; echo; done

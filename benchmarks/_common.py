@@ -2,23 +2,209 @@
 
 Each bench regenerates one paper figure's rows, prints them (visible
 with ``pytest benchmarks/ -s`` or on the captured-output section of a
-failure) and writes them under ``benchmarks/out/`` so EXPERIMENTS.md
-can be assembled from the files.  The ``benchmark`` fixture times a
-representative unit of work; the full series is computed exactly once
-per run.
+failure) and writes them under ``benchmarks/out/``:
+
+* ``<name>.txt`` -- the aligned table EXPERIMENTS.md is assembled from;
+* ``<name>.json`` -- a schema-versioned perf record (see
+  ``benchmarks/schema.json``): parameters, seed, simulated and wall
+  time, the :class:`~repro.netsim.network.MessageStats` breakdown,
+  telemetry event/phase deltas, the raw rows and bootstrap summary
+  statistics.  ``scripts/bench_report.py`` merges the records into the
+  repo-root ``BENCH_core.json`` / ``BENCH_ext.json`` trajectory files.
+
+Measurement is delta-based: the autouse fixture in
+``benchmarks/conftest.py`` snapshots every live
+:class:`~repro.netsim.network.Network` (stats, telemetry, sim clock)
+when a bench starts, and :func:`emit` charges the record with exactly
+what happened since -- memoised networks shared across benches
+therefore do not leak counts between records.  All deterministic
+fields of a record are byte-stable across same-seed runs; wall-clock
+durations live only under keys prefixed ``wall`` so trajectories can
+be compared modulo wall time (``bench_report.strip_wall``).
 """
 
 from __future__ import annotations
 
+import json
+import math
 import pathlib
+import time
+
+import numpy as np
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+SCHEMA_VERSION = 1
 
-def emit(name: str, title: str, body: str) -> str:
-    """Print and persist one figure's regenerated series."""
+#: snapshot of every live network taken when the current bench started
+#: (installed by the autouse fixture in ``benchmarks/conftest.py``)
+_BASELINE = None
+
+
+def begin_measurement() -> None:
+    """Snapshot all live networks; deltas are charged by :func:`emit`."""
+    global _BASELINE
+    from repro.netsim.network import Network
+
+    _BASELINE = {
+        "wall_start": time.perf_counter(),
+        "networks": {
+            net.created_seq: {
+                "stats": net.stats.snapshot(),
+                "telemetry": net.telemetry.snapshot(),
+                "sim_ms": net.clock.now,
+            }
+            for net in Network.instances()
+        },
+    }
+
+
+def end_measurement() -> None:
+    global _BASELINE
+    _BASELINE = None
+
+
+def measure() -> dict:
+    """What every live network did since :func:`begin_measurement`.
+
+    Networks created mid-bench (absent from the baseline) contribute
+    their full totals.  Aggregation order is creation order, so float
+    sums are deterministic.
+    """
+    from repro.core.telemetry import diff_snapshots
+    from repro.netsim.network import Network
+
+    baseline = _BASELINE or {"wall_start": None, "networks": {}}
+    message_stats: dict = {}
+    events: dict = {}
+    counters: dict = {}
+    phases: dict = {}
+    sim_ms = 0.0
+    for net in Network.instances():
+        base = baseline["networks"].get(net.created_seq, {})
+        for category, n in net.stats.delta(base.get("stats", {})).items():
+            message_stats[category] = message_stats.get(category, 0) + n
+        delta = diff_snapshots(net.telemetry.snapshot(), base.get("telemetry"))
+        for kind, n in delta["events"].items():
+            events[kind] = events.get(kind, 0) + n
+        for name, n in delta["counters"].items():
+            counters[name] = counters.get(name, 0) + n
+        for name, acc in delta["phases"].items():
+            slot = phases.setdefault(
+                name, {"sim_ms": 0.0, "entries": 0, "wall_s": 0.0}
+            )
+            for part in slot:
+                slot[part] += acc[part]
+        sim_ms += net.clock.now - base.get("sim_ms", 0.0)
+    wall_start = baseline.get("wall_start")
+    wall_s = (
+        time.perf_counter() - wall_start if wall_start is not None else 0.0
+    )
+    return {
+        "message_stats": message_stats,
+        "telemetry": {
+            "counters": counters,
+            "events": events,
+            "phases": phases,
+        },
+        "sim_ms": sim_ms,
+        "wall_s": wall_s,
+    }
+
+
+def _jsonable(value):
+    """Strict-JSON clone: numpy scalars unboxed, non-finite floats -> None."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    return value
+
+
+def summarize_rows(rows, seed: int = 0) -> dict:
+    """Mean + bootstrap 95% CI per numeric column of ``rows``.
+
+    None and non-finite entries are skipped; all-missing columns are
+    omitted.  The bootstrap draws from one Generator seeded with
+    ``seed``, so same-seed runs produce identical intervals.
+    """
+    from repro.core.stats import bootstrap_ci
+
+    if not rows:
+        return {}
+    rng = np.random.default_rng(seed)
+    summary: dict = {}
+    columns: list = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    for column in columns:
+        values = []
+        for row in rows:
+            value = row.get(column)
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                continue
+            value = float(value)
+            if math.isfinite(value):
+                values.append(value)
+        if not values:
+            continue
+        low, high = bootstrap_ci(values, rng=rng)
+        summary[column] = {
+            "mean": float(np.mean(values)),
+            "lo": low,
+            "hi": high,
+            "n": len(values),
+        }
+    return summary
+
+
+def canonical_json(record) -> str:
+    """Stable serialisation: sorted keys, 2-space indent, strict floats."""
+    return json.dumps(
+        _jsonable(record), sort_keys=True, indent=2, allow_nan=False
+    ) + "\n"
+
+
+def emit(
+    name: str,
+    title: str,
+    body: str,
+    rows=None,
+    params: dict = None,
+    seed: int = 0,
+) -> str:
+    """Print and persist one figure's regenerated series.
+
+    Besides the legacy ``<name>.txt`` table, writes ``<name>.json``
+    with the full perf record when ``rows`` are given (the usual
+    case); benches pass the runner parameters that shaped the cell in
+    ``params``.
+    """
     text = f"== {title} ==\n{body}\n"
     print(f"\n{text}")
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text)
+    if rows is not None:
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "title": title,
+            "params": dict(params or {}),
+            "seed": seed,
+            "rows": list(rows),
+            "summary": summarize_rows(rows, seed=seed),
+        }
+        record.update(measure())
+        (OUT_DIR / f"{name}.json").write_text(canonical_json(record))
     return text

@@ -46,6 +46,9 @@ def bench_chord_generality(benchmark):
         "ext_chord_generality",
         f"Extension: soft-state finger selection on Chord ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "num_nodes": num_nodes, "bits": 18},
+        seed=7,
     )
 
     ring, _ = build_soft_state_ring(shared, 64, policy_name="successor", bits=16, seed=3)

@@ -20,6 +20,8 @@ def bench_churn_maintenance_policies(benchmark):
         "ext_churn_policies",
         f"§5.2: maintenance policies under churn ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "churn_events": scale.churn_events},
     )
 
     from repro.core.churn import ChurnDriver, ChurnEvent

@@ -21,6 +21,11 @@ def bench_failure_resilience(benchmark):
         "ext_failure_resilience",
         f"Fault tolerance: mass crashes with lazy repair ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "crash_fractions": [0.0, 0.1, 0.25, 0.5],
+        },
     )
 
     benchmark.pedantic(

@@ -28,6 +28,12 @@ def bench_fault_injection(benchmark):
         "ext_fault_injection",
         f"Fault injection: loss rate x retry policy ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "loss_rates": [0.0, 0.05, 0.1, 0.2],
+            "crash_fraction": 0.1,
+        },
     )
 
     benchmark.pedantic(

@@ -20,6 +20,8 @@ def bench_join_cost_scaling(benchmark):
         "ext_join_cost",
         f"§5.1: per-join message cost by category vs N ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "node_sweep": list(scale.node_sweep)},
     )
 
     from repro.experiments.fig10_13_stretch_rtts import build_overlay

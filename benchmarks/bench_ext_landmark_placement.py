@@ -57,6 +57,12 @@ def bench_landmark_placement(benchmark):
         "ext_landmark_placement",
         f"Extension: landmark placement strategies ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "num_landmarks": 15,
+            "budgets": list(budgets),
+        },
     )
 
     benchmark(

@@ -44,6 +44,9 @@ def bench_pastry_generality(benchmark):
         "ext_pastry_generality",
         f"Extension: soft-state slot selection on Pastry ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "num_nodes": num_nodes, "digits": 14},
+        seed=7,
     )
 
     ring, _ = build_soft_state_pastry(shared, 64, policy_name="random", digits=12, seed=3)

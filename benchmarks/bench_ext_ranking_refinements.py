@@ -81,6 +81,12 @@ def bench_ranking_refinements(benchmark):
         f"§5.4 refinements: nearest-neighbor stretch under noisy latencies "
         f"({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "num_landmarks": 16,
+            "budgets": list(budgets),
+        },
     )
 
     benchmark(lambda: [strategies["svd-denoised"](int(q)) for q in queries[:5]])

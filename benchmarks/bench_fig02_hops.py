@@ -18,6 +18,8 @@ def bench_fig02_ecan_vs_can_hops(benchmark):
         "fig02_hops",
         f"Figure 2: mean logical hops vs N ({scale.name} scale)",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "sweep": list(scale.fig2_sweep)},
     )
 
     # timed unit: routing 100 lookups through a mid-size eCAN

@@ -19,6 +19,12 @@ def bench_fig03_hybrid_vs_ers_tsk_large(benchmark):
         "fig03_nn_compare",
         f"Figure 3: nearest-neighbor stretch vs probes, tsk-large ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "topology": "tsk-large",
+            "methods": ["lmk+rtt", "order", "gnp", "ers"],
+        },
     )
 
     testbed = fig03_06_nn.NearestNeighborTestbed(

@@ -16,6 +16,8 @@ def bench_fig04_ers_tsk_large(benchmark):
         "fig04_ers_large",
         f"Figure 4: ERS stretch vs probes, tsk-large ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "topology": "tsk-large", "methods": ["ers"]},
     )
 
     testbed = fig03_06_nn.NearestNeighborTestbed(

@@ -17,6 +17,12 @@ def bench_fig05_hybrid_tsk_small(benchmark):
         "fig05_hybrid_small",
         f"Figure 5: hybrid stretch vs probes, tsk-small ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "topology": "tsk-small",
+            "methods": ["lmk+rtt"],
+        },
     )
 
     testbed = fig03_06_nn.NearestNeighborTestbed(

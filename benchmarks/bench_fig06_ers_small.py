@@ -17,6 +17,8 @@ def bench_fig06_ers_tsk_small(benchmark):
         "fig06_ers_small",
         f"Figure 6: ERS stretch vs probes, tsk-small ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "topology": "tsk-small", "methods": ["ers"]},
     )
 
     testbed = fig03_06_nn.NearestNeighborTestbed(

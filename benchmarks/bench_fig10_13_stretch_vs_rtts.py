@@ -29,6 +29,8 @@ def bench_stretch_vs_rtts(benchmark, figure, topology, latency):
         f"Figure {figure[3:]}: stretch vs RTT probes, {topology}, "
         f"{latency} latencies ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "topology": topology, "latency": latency},
     )
 
     overlay = fig10_13_stretch_rtts.build_overlay(

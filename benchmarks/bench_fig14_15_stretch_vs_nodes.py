@@ -23,6 +23,12 @@ def bench_stretch_vs_nodes(benchmark, figure, latency):
         f"Figure {figure[3:]}: stretch vs overlay size, {latency} latencies "
         f"({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "latency": latency,
+            "node_sweep": list(scale.node_sweep),
+        },
     )
 
     from repro.experiments.fig10_13_stretch_rtts import build_overlay

@@ -19,6 +19,11 @@ def bench_fig16_condense_rate(benchmark):
         "fig16_condense_rate",
         f"Figure 16: map entries/node and stretch vs condense rate ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "condense_sweep": list(scale.condense_sweep),
+        },
     )
 
     from repro.experiments.fig10_13_stretch_rtts import build_overlay

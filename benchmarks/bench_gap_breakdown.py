@@ -23,6 +23,8 @@ def bench_gap_breakdown(benchmark, topology):
         f"gap_breakdown_{topology}",
         f"§5.4 gap breakdown, {topology}, manual latencies ({scale.name})",
         format_table([gaps]),
+        rows=[gaps],
+        params={"scale": scale.name, "topology": topology, "latency": "manual"},
     )
 
     overlay = fig10_13_stretch_rtts.build_overlay(

@@ -23,6 +23,8 @@ def bench_tacan_imbalance(benchmark):
         "intro_tacan_imbalance",
         f"§1: zone-volume concentration, N={result['N']} ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "num_landmarks": 5, "N": result["N"]},
     )
 
     network = intro_tacan_imbalance.get_network(

@@ -17,6 +17,8 @@ def bench_pubsub_vs_polling(benchmark):
         "pubsub_vs_polling",
         f"§5.2: maintenance messages vs final stretch ({scale.name})",
         format_table(rows),
+        rows=rows,
+        params={"scale": scale.name, "churn_events": scale.churn_events},
     )
 
     # one small single-round unit; full-mode reruns would dominate

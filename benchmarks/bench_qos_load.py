@@ -23,6 +23,12 @@ def bench_qos_load_tradeoff(benchmark):
         "qos_load_tradeoff",
         f"§6: load-aware vs proximity-only selection ({scale.name})",
         format_table(all_rows),
+        rows=all_rows,
+        params={
+            "scale": scale.name,
+            "seeds": list(seeds),
+            "weights": [0.0, 0.5, 2.0],
+        },
     )
 
     # the timed unit is one small end-to-end cycle; a single round --

@@ -1,0 +1,18 @@
+"""Bench-session fixtures: per-bench measurement baselines.
+
+Networks are memoised across benches (``experiments.common.get_network``),
+so their stats, telemetry and sim clocks accumulate over a whole
+pytest session.  This autouse fixture brackets every bench with a
+baseline snapshot so the JSON record each bench emits charges only its
+own activity.
+"""
+
+import _common
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _bench_measurement():
+    _common.begin_measurement()
+    yield
+    _common.end_measurement()

@@ -78,6 +78,20 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _profiled(fn, top: int):
+    """Run ``fn`` under cProfile; return (result, stats text)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, buffer.getvalue()
+
+
 def cmd_run(args) -> int:
     registry = _figure_registry()
     names = list(registry) if "all" in args.names else args.names
@@ -88,7 +102,13 @@ def cmd_run(args) -> int:
         return 2
     for name in names:
         print(f"== {name} ==")
-        print(registry[name]())
+        if args.profile:
+            text, profile = _profiled(registry[name], args.profile_top)
+            print(text)
+            print(f"-- profile ({name}, top {args.profile_top} by cumulative) --")
+            print(profile)
+        else:
+            print(registry[name]())
         print()
     return 0
 
@@ -134,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run = sub.add_parser("run", help="run experiments and print their tables")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each experiment under cProfile and print the hot spots",
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="functions shown per profile (default 25, by cumulative time)",
+    )
     run.set_defaults(func=cmd_run)
     sub.add_parser("report", help="rewrite EXPERIMENTS.md from benchmarks/out")\
         .set_defaults(func=cmd_report)

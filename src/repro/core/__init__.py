@@ -14,6 +14,7 @@ from repro.core.metrics import summarize
 from repro.core.qos import LoadTracker, pareto_capacities
 from repro.core.reliability import NO_RETRY, RetryPolicy, measure_vector_reliably
 from repro.core.stats import aggregate_over_seeds, bootstrap_ci, paired_improvement
+from repro.core.telemetry import Telemetry, TraceEvent, diff_snapshots
 
 __all__ = [
     "ChurnDriver",
@@ -23,7 +24,9 @@ __all__ = [
     "NetworkParams",
     "OverlayParams",
     "RetryPolicy",
+    "Telemetry",
     "TopologyAwareOverlay",
+    "TraceEvent",
     "aggregate_over_seeds",
     "bootstrap_ci",
     "make_network",

@@ -180,7 +180,8 @@ class TopologyAwareOverlay:
         """Grow the overlay to ``num_nodes`` members; returns their ids."""
         if num_nodes is None:
             num_nodes = self.params.num_nodes
-        return [self.add_node() for _ in range(num_nodes - len(self))]
+        with self.network.telemetry.phase("overlay_build"):
+            return [self.add_node() for _ in range(num_nodes - len(self))]
 
     def remove_node(self, node_id: int, graceful: bool = True) -> None:
         """Depart (gracefully announces; otherwise records go stale)."""
@@ -228,12 +229,13 @@ class TopologyAwareOverlay:
         ids = np.array(self.node_ids)
         stretches = []
         attempts = 0
-        while len(stretches) < samples and attempts < 4 * samples:
-            attempts += 1
-            src, dst = rng.choice(ids, size=2, replace=False)
-            _, stretch = self.route_between(int(src), int(dst))
-            if stretch is not None:
-                stretches.append(stretch)
+        with self.network.telemetry.phase("routing"):
+            while len(stretches) < samples and attempts < 4 * samples:
+                attempts += 1
+                src, dst = rng.choice(ids, size=2, replace=False)
+                _, stretch = self.route_between(int(src), int(dst))
+                if stretch is not None:
+                    stretches.append(stretch)
         return np.asarray(stretches)
 
     def measure_hops(self, samples: int, rng=None) -> np.ndarray:

@@ -52,6 +52,10 @@ class RetryPolicy:
             raise ValueError("backoff_factor must be >= 1")
         if self.max_delay < self.base_delay:
             raise ValueError("max_delay must be >= base_delay")
+        # accounting attributes (not dataclass fields: the policy stays
+        # hashable/comparable on its schedule parameters alone)
+        object.__setattr__(self, "backoff_slept_ms", 0.0)
+        object.__setattr__(self, "retries", 0)
 
     # -- schedule ----------------------------------------------------------
 
@@ -71,11 +75,39 @@ class RetryPolicy:
 
     # -- execution ---------------------------------------------------------
 
-    def call(self, fn, clock=None, retry_on=(ProbeTimeout,)):
+    def sleep(self, attempt: int, clock=None, telemetry=None) -> float:
+        """Back off after failed attempt ``attempt`` and account for it.
+
+        Advances the simulated ``clock`` when one is given, and always
+        adds the delay to :attr:`backoff_slept_ms` (plus a ``retry``
+        event and a ``backoff_ms`` counter on ``telemetry``) -- a
+        caller that forgets the clock can no longer silently
+        under-report recovery time, because the slept backoff stays
+        visible to the accounting layer either way.
+        """
+        delay = self.delay(attempt)
+        if clock is not None:
+            clock.advance(delay)
+        object.__setattr__(self, "backoff_slept_ms", self.backoff_slept_ms + delay)
+        object.__setattr__(self, "retries", self.retries + 1)
+        if telemetry is not None:
+            telemetry.emit("retry", backoff_ms=delay, attempt=attempt)
+            telemetry.count("backoff_ms", delay)
+        return delay
+
+    def reset_accounting(self) -> None:
+        """Zero the cumulative backoff/retry accounting."""
+        object.__setattr__(self, "backoff_slept_ms", 0.0)
+        object.__setattr__(self, "retries", 0)
+
+    def call(self, fn, clock=None, retry_on=(ProbeTimeout,), telemetry=None):
         """Run ``fn(attempt)`` until it succeeds or attempts run out.
 
         Between attempts the simulated ``clock`` (if given) is advanced
-        by the backoff delay; the final failure re-raises.
+        by the backoff delay; every backoff is tracked in
+        :attr:`backoff_slept_ms` (and charged to ``telemetry``) even
+        without a clock, so recovery-time reports cannot silently drop
+        it.  The final failure re-raises.
         """
         last = None
         for attempt in range(self.max_attempts):
@@ -83,15 +115,20 @@ class RetryPolicy:
                 return fn(attempt)
             except retry_on as exc:
                 last = exc
-                if attempt + 1 < self.max_attempts and clock is not None:
-                    clock.advance(self.delay(attempt))
+                if attempt + 1 < self.max_attempts:
+                    self.sleep(attempt, clock=clock, telemetry=telemetry)
         raise last
 
     def probe(self, network, u: int, v: int, category: str = "rtt_probe"):
-        """RTT probe with retries; each attempt is charged as usual."""
+        """RTT probe with retries; each attempt is charged as usual.
+
+        The network's clock and telemetry are passed unconditionally,
+        so backoff always advances simulated time and is charged.
+        """
         return self.call(
             lambda attempt: network.rtt(u, v, category=category),
             clock=network.clock,
+            telemetry=getattr(network, "telemetry", None),
         )
 
     def probe_alive(self, network, u: int, v: int, category: str = "liveness_probe") -> bool:
@@ -117,28 +154,38 @@ def measure_vector_reliably(
     """Measure a landmark vector under faults, re-probing lost entries.
 
     Entries still missing after the policy's attempts are filled with
-    the worst successfully measured RTT -- a pessimistic estimate that
-    keeps the joiner operational (graceful degradation) instead of
-    stalling the join.  Raises :class:`ProbeTimeout` only if *every*
-    landmark stayed silent through every attempt.
+    the worst successfully measured *non-spiked* RTT -- a pessimistic
+    estimate that keeps the joiner operational (graceful degradation)
+    instead of stalling the join, without letting a single
+    latency-spiked :class:`~repro.netsim.faults.ProbeResult` become
+    the fill for every silent landmark.  Only when *every* answered
+    probe was spiked does the fill fall back to the spiked maximum.
+    Raises :class:`ProbeTimeout` only if every landmark stayed silent
+    through every attempt.
     """
     if policy is None:
         policy = RetryPolicy()
+    telemetry = getattr(network, "telemetry", None)
     hosts = np.asarray(landmarks.hosts, dtype=np.int64)
-    vector = np.asarray(
-        network.rtt_many(int(host), hosts, category=category), dtype=np.float64
-    )
+    vector, spiked = network.rtt_many_detailed(int(host), hosts, category=category)
+    vector = np.asarray(vector, dtype=np.float64)
+    spiked = np.asarray(spiked, dtype=bool)
     for attempt in range(policy.max_attempts - 1):
         missing = np.isnan(vector)
         if not missing.any():
             break
-        network.clock.advance(policy.delay(attempt))
-        vector[missing] = network.rtt_many(
+        policy.sleep(attempt, clock=network.clock, telemetry=telemetry)
+        refreshed, re_spiked = network.rtt_many_detailed(
             int(host), hosts[missing], category=category
         )
+        vector[missing] = refreshed
+        spiked[missing] = re_spiked
     missing = np.isnan(vector)
     if missing.all():
         raise ProbeTimeout(int(host), int(hosts[0]), reason="all landmarks silent")
     if missing.any():
-        vector[missing] = float(np.nanmax(vector))
+        clean = vector[~missing & ~spiked]
+        fill = float(clean.max()) if clean.size else float(np.nanmax(vector))
+        vector[missing] = fill
     return vector
+

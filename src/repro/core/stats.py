@@ -32,6 +32,9 @@ def bootstrap_ci(
         point = float(statistic(values))
         return point, point
     if rng is None:
+        # standalone convenience only -- aggregation loops must thread
+        # one shared Generator through every call, or all their cells
+        # reuse identical resample indices and the CIs correlate
         rng = np.random.default_rng(0)
     indices = rng.integers(0, values.size, size=(resamples, values.size))
     stats = statistic(values[indices], axis=1)
@@ -42,17 +45,26 @@ def bootstrap_ci(
     )
 
 
-def aggregate_over_seeds(run_fn, seeds, key_fields, value_fields) -> list:
+def aggregate_over_seeds(
+    run_fn, seeds, key_fields, value_fields, rng: np.random.Generator = None
+) -> list:
     """Run ``run_fn(seed)`` for each seed and merge its row lists.
 
     Rows are grouped by ``key_fields``; each field in ``value_fields``
     becomes three output columns: mean, ``*_lo`` and ``*_hi``
     (bootstrap 95% CI across seeds).  Rows missing a value field (or
     holding None) are skipped for that field.
+
+    One ``rng`` (seeded here if the caller passes none) is threaded
+    through every :func:`bootstrap_ci` call, so each cell draws fresh
+    resample indices instead of all cells sharing one deterministic
+    draw -- identical draws would correlate the CIs across rows.
     """
     seeds = list(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
+    if rng is None:
+        rng = np.random.default_rng(0)
     grouped: dict = {}
     order: list = []
     for seed in seeds:
@@ -75,7 +87,7 @@ def aggregate_over_seeds(run_fn, seeds, key_fields, value_fields) -> list:
                 row[field] = None
                 continue
             row[field] = float(np.mean(values))
-            low, high = bootstrap_ci(values)
+            low, high = bootstrap_ci(values, rng=rng)
             row[f"{field}_lo"] = low
             row[f"{field}_hi"] = high
         out.append(row)

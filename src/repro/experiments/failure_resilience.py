@@ -149,15 +149,16 @@ def run_fault_injection(
                 rng = np.random.default_rng(seed + 91)
                 ids = np.array(overlay.node_ids)
                 successes, stretches, resends, degradations = 0, [], 0, 0
-                for _ in range(probes):
-                    src, dst = rng.choice(ids, size=2, replace=False)
-                    result, stretch = overlay.route_between(int(src), int(dst))
-                    resends += result.retries
-                    degradations += result.degraded
-                    if result.success:
-                        successes += 1
-                        if stretch is not None:
-                            stretches.append(stretch)
+                with network.telemetry.phase("fault_routing"):
+                    for _ in range(probes):
+                        src, dst = rng.choice(ids, size=2, replace=False)
+                        result, stretch = overlay.route_between(int(src), int(dst))
+                        resends += result.retries
+                        degradations += result.degraded
+                        if result.success:
+                            successes += 1
+                            if stretch is not None:
+                                stretches.append(stretch)
 
                 # one periodic sweep over a fully live overlay: every purge
                 # is a false positive by construction
@@ -170,18 +171,22 @@ def run_fault_injection(
 
                 # crash-stop a fraction and measure time-to-clean-state
                 start = network.clock.now
-                victims = rng.choice(
-                    overlay.node_ids,
-                    size=int(crash_fraction * len(overlay)),
-                    replace=False,
-                )
-                for victim in victims:
-                    overlay.remove_node(int(victim), graceful=False)
-                sweeps = 0
-                while overlay.maintenance.stale_entries() > 0 and sweeps < max_sweeps:
-                    network.clock.advance(overlay.maintenance.poll_interval)
-                    overlay.maintenance.poll_once()
-                    sweeps += 1
+                with network.telemetry.phase("fault_recovery"):
+                    victims = rng.choice(
+                        overlay.node_ids,
+                        size=int(crash_fraction * len(overlay)),
+                        replace=False,
+                    )
+                    for victim in victims:
+                        overlay.remove_node(int(victim), graceful=False)
+                    sweeps = 0
+                    while (
+                        overlay.maintenance.stale_entries() > 0
+                        and sweeps < max_sweeps
+                    ):
+                        network.clock.advance(overlay.maintenance.poll_interval)
+                        overlay.maintenance.poll_once()
+                        sweeps += 1
                 recovered = overlay.maintenance.stale_entries() == 0
                 recovery_ms = network.clock.now - start if recovered else math.inf
 

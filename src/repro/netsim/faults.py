@@ -207,6 +207,7 @@ class FaultInjector:
     def _inject(self, category: str) -> None:
         self.injected[category] += 1
         self.network.stats.count(category)
+        self.network.telemetry.emit("fault", category=category)
 
     def _blocked(self, u: int, v: int):
         """Structural reason ``u``/``v`` cannot talk right now, or None."""
@@ -248,14 +249,25 @@ class FaultInjector:
 
     def probe_many(self, u: int, hosts) -> np.ndarray:
         """Probe each host; lost probes surface as ``NaN`` entries."""
+        return self.probe_many_detailed(u, hosts)[0]
+
+    def probe_many_detailed(self, u: int, hosts) -> tuple:
+        """Probe each host; returns ``(rtts, spiked)``.
+
+        ``rtts`` holds ``NaN`` for lost probes; ``spiked`` flags
+        answers inflated by a latency-spike fault.
+        """
         hosts = np.asarray(hosts, dtype=np.int64)
         out = np.empty(len(hosts), dtype=np.float64)
+        spiked = np.zeros(len(hosts), dtype=bool)
         for i, host in enumerate(hosts):
             try:
-                out[i] = self.probe(u, int(host))
+                result = self.probe(u, int(host))
+                out[i] = result
+                spiked[i] = result.spiked
             except ProbeTimeout:
                 out[i] = np.nan
-        return out
+        return out, spiked
 
     def deliver(self, u: int, v: int) -> bool:
         """Would one overlay forwarding hop ``u -> v`` arrive?"""

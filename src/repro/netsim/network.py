@@ -17,6 +17,8 @@ the physical network exclusively through this class:
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from collections import Counter
 
 import numpy as np
@@ -72,12 +74,22 @@ class MessageStats:
 class Network:
     """Simulated physical network: topology + latency model + oracle."""
 
+    #: live instances in creation order (weakly held) -- benchmarks
+    #: snapshot every network's stats/clock/telemetry around a measured
+    #: block without threading the network through each runner.
+    _instances = weakref.WeakSet()
+    _created = itertools.count()
+
     def __init__(
         self,
         topology: Topology,
         latency_model: LatencyModel,
         max_cached_rows: int = 4096,
     ):
+        # late import: repro.core.reliability imports repro.netsim.faults,
+        # so a module-level import here would be circular
+        from repro.core.telemetry import Telemetry
+
         self.topology = topology
         self.latency_model = latency_model
         self.oracle = DistanceOracle.from_topology(
@@ -85,8 +97,17 @@ class Network:
         )
         self.stats = MessageStats()
         self.clock = EventScheduler()
+        #: structured observability channel shared by every layer above
+        self.telemetry = Telemetry(clock=self.clock)
         #: armed :class:`FaultInjector`, or None for the perfect network
         self.faults = None
+        self.created_seq = next(Network._created)
+        Network._instances.add(self)
+
+    @classmethod
+    def instances(cls) -> list:
+        """Live networks, oldest first (deterministic aggregation order)."""
+        return sorted(cls._instances, key=lambda net: net.created_seq)
 
     @property
     def num_nodes(self) -> int:
@@ -129,6 +150,7 @@ class Network:
         :class:`~repro.netsim.faults.ProbeTimeout`.
         """
         self.stats.count(category)
+        self.telemetry.emit("probe", category=category, u=int(u), v=int(v))
         if self.faults is not None:
             return self.faults.probe(u, v)
         return 2.0 * self.oracle.distance(u, v)
@@ -138,12 +160,26 @@ class Network:
 
         With faults armed, lost/timed-out probes come back as ``NaN``.
         """
+        return self.rtt_many_detailed(u, hosts, category=category)[0]
+
+    def rtt_many_detailed(
+        self, u: int, hosts, category: str = "rtt_probe"
+    ) -> tuple:
+        """Like :meth:`rtt_many`, plus a boolean latency-spike mask.
+
+        Returns ``(rtts, spiked)``: under an armed injector ``spiked``
+        flags measurements inflated by a latency-spike fault, so
+        callers filling gaps (see
+        :func:`repro.core.reliability.measure_vector_reliably`) can
+        avoid propagating a spiked outlier as their estimate.
+        """
         hosts = np.asarray(hosts, dtype=np.int64)
         self.stats.count(category, len(hosts))
+        self.telemetry.emit("probe", n=len(hosts), category=category, u=int(u))
         if self.faults is not None:
-            return self.faults.probe_many(u, hosts)
+            return self.faults.probe_many_detailed(u, hosts)
         row = self.oracle.row(u)
-        return 2.0 * row[hosts].astype(np.float64)
+        return 2.0 * row[hosts].astype(np.float64), np.zeros(len(hosts), dtype=bool)
 
     # -- oracle access (not charged; used for ground truth / metrics) ----
 

@@ -296,6 +296,9 @@ class EcanOverlay:
         attempt always succeeds -- the perfect-network fast path.
         """
         self._count(category)
+        telemetry = getattr(self.network, "telemetry", None)
+        if telemetry is not None:
+            telemetry.emit("hop", category=category)
         faults = self.network.faults if self.network is not None else None
         if faults is None or not faults.armed:
             return True
@@ -305,9 +308,11 @@ class EcanOverlay:
         if policy is None:
             return False
         for attempt in range(1, policy.max_attempts):
-            self.network.clock.advance(policy.delay(attempt - 1))
+            policy.sleep(attempt - 1, clock=self.network.clock, telemetry=telemetry)
             result.retries += 1
             self._count(category)
+            if telemetry is not None:
+                telemetry.emit("hop", category=category, resend=True)
             if faults.deliver(src_host, dst_host):
                 return True
         return False

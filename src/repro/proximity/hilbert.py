@@ -69,9 +69,22 @@ class HilbertCurve:
     # -- unit-cube convenience interface ----------------------------------------
 
     def encode_point(self, point) -> int:
-        """Hilbert index of a point in the unit cube ``[0, 1)^dims``."""
+        """Hilbert index of a point in the unit cube ``[0, 1)^dims``.
+
+        Coordinates outside ``[0, 1]`` raise :class:`ValueError` --
+        silently clamping them would mask landmark-vector
+        normalisation errors upstream.  The exact ``x == 1.0``
+        boundary (a closed-interval artefact of float normalisation)
+        still clamps into the last cell.
+        """
         side = self.side
-        coords = [min(side - 1, max(0, int(x * side))) for x in point]
+        coords = []
+        for x in point:
+            if not 0.0 <= x <= 1.0:
+                raise ValueError(
+                    f"coordinate {x} outside the unit interval [0, 1]"
+                )
+            coords.append(min(side - 1, int(x * side)))
         return self.encode(coords)
 
     def decode_center(self, index: int) -> tuple:

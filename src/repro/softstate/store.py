@@ -191,6 +191,9 @@ class SoftStateStore:
             if fresh:
                 self._emit(EventKind.NODE_JOINED, region, record)
         self._published[node_id] = wanted
+        telemetry = getattr(self.network, "telemetry", None)
+        if telemetry is not None and wanted:
+            telemetry.emit("publish", n=len(wanted), node_id=node_id)
         return len(wanted)
 
     def withdraw(self, node_id: int, charge: bool = True) -> int:

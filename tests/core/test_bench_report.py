@@ -1,0 +1,207 @@
+"""Bench perf records: schema validation, merging, determinism."""
+
+import importlib.util
+import json
+import math
+import pathlib
+
+import numpy as np
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def load_module(relative):
+    path = REPO_ROOT / relative
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report():
+    return load_module("scripts/bench_report.py")
+
+
+@pytest.fixture(scope="module")
+def common():
+    return load_module("benchmarks/_common.py")
+
+
+def make_record(name="fig00_demo", seed=0):
+    rows = [
+        {"probes": 1, "mean_stretch": 2.5},
+        {"probes": 8, "mean_stretch": 1.2},
+    ]
+    return {
+        "schema_version": 1,
+        "name": name,
+        "title": "demo",
+        "params": {"scale": "quick"},
+        "seed": seed,
+        "rows": rows,
+        "summary": {
+            "mean_stretch": {"mean": 1.85, "lo": 1.2, "hi": 2.5, "n": 2}
+        },
+        "message_stats": {"rtt_probe": 9},
+        "telemetry": {
+            "counters": {"backoff_ms": 10.0},
+            "events": {"probe": 9},
+            "phases": {
+                "routing": {"sim_ms": 40.0, "entries": 1, "wall_s": 0.01}
+            },
+        },
+        "sim_ms": 40.0,
+        "wall_s": 0.02,
+    }
+
+
+class TestValidator:
+    def test_valid_record_passes(self, report):
+        schema = report.load_schema()
+        errors = report.validate(
+            make_record(), {"$ref": "#/definitions/record"}, root=schema
+        )
+        assert errors == []
+
+    def test_missing_key_and_wrong_type_flagged(self, report):
+        schema = report.load_schema()
+        record = make_record()
+        del record["sim_ms"]
+        record["seed"] = "zero"
+        errors = report.validate(
+            record, {"$ref": "#/definitions/record"}, root=schema
+        )
+        assert any("sim_ms" in e for e in errors)
+        assert any("seed" in e for e in errors)
+
+    def test_bool_is_not_a_number(self, report):
+        errors = report.validate(True, {"type": "number"})
+        assert errors
+
+    def test_merged_file_schema(self, report):
+        schema = report.load_schema()
+        merged = {"schema_version": 1, "benches": {"fig00_demo": make_record()}}
+        assert report.validate(merged, schema) == []
+        merged["schema_version"] = 99
+        assert report.validate(merged, schema)
+
+
+class TestStripWall:
+    def test_removes_wall_keys_recursively(self, report):
+        stripped = report.strip_wall(make_record())
+        assert "wall_s" not in stripped
+        assert "wall_s" not in stripped["telemetry"]["phases"]["routing"]
+        assert stripped["sim_ms"] == 40.0
+
+    def test_same_seed_records_identical_modulo_wall(self, report):
+        a, b = make_record(), make_record()
+        b["wall_s"] = 99.9
+        b["telemetry"]["phases"]["routing"]["wall_s"] = 1.5
+        assert report.canonical_json(
+            report.strip_wall(a)
+        ) == report.canonical_json(report.strip_wall(b))
+
+
+class TestMerge:
+    def test_buckets_and_merge(self, report, tmp_path):
+        out_dir = tmp_path / "out"
+        out_dir.mkdir()
+        core = make_record("fig00_demo")
+        ext = make_record("ext_demo")
+        for record in (core, ext):
+            (out_dir / f"{record['name']}.json").write_text(
+                json.dumps(record)
+            )
+        records = report.load_records(out_dir)
+        assert set(records) == {"fig00_demo", "ext_demo"}
+        assert report.bucket_of("fig00_demo") == "core"
+        assert report.bucket_of("ext_demo") == "ext"
+
+        targets = {
+            "core": tmp_path / "BENCH_core.json",
+            "ext": tmp_path / "BENCH_ext.json",
+        }
+        written = report.merge(records, targets=targets)
+        assert set(written) == {"core", "ext"}
+        merged = json.loads(targets["core"].read_text())
+        assert merged["schema_version"] == 1
+        assert "fig00_demo" in merged["benches"]
+        assert report.check(records, targets=targets) == []
+
+    def test_merge_preserves_existing_benches(self, report, tmp_path):
+        target = tmp_path / "BENCH_core.json"
+        target.write_text(
+            report.canonical_json(
+                {
+                    "schema_version": 1,
+                    "benches": {"fig99_old": make_record("fig99_old")},
+                }
+            )
+        )
+        report.merge(
+            {"fig00_demo": make_record()}, targets={"core": target}
+        )
+        merged = json.loads(target.read_text())
+        assert set(merged["benches"]) == {"fig99_old", "fig00_demo"}
+
+
+class TestEmitRecord:
+    def test_jsonable_sanitizes(self, common):
+        value = common._jsonable(
+            {
+                "inf": math.inf,
+                "np_int": np.int64(3),
+                "np_float": np.float64(1.5),
+                "np_bool": np.bool_(True),
+                "nested": [np.nan, (1, 2)],
+            }
+        )
+        assert value == {
+            "inf": None,
+            "np_int": 3,
+            "np_float": 1.5,
+            "np_bool": True,
+            "nested": [None, [1, 2]],
+        }
+        json.dumps(value, allow_nan=False)  # must not raise
+
+    def test_summarize_rows_deterministic(self, common):
+        rows = [{"x": float(i), "label": "a"} for i in range(10)]
+        first = common.summarize_rows(rows, seed=3)
+        second = common.summarize_rows(rows, seed=3)
+        assert first == second
+        assert first["x"]["lo"] <= first["x"]["mean"] <= first["x"]["hi"]
+        assert "label" not in first  # non-numeric columns skipped
+
+    def test_summarize_rows_skips_non_finite(self, common):
+        rows = [{"x": 1.0}, {"x": math.inf}, {"x": None}, {"x": 2.0}]
+        summary = common.summarize_rows(rows)
+        assert summary["x"]["n"] == 2
+
+    def test_emit_writes_valid_record(self, common, report, tmp_path, capsys):
+        out_dir = common.OUT_DIR
+        try:
+            common.OUT_DIR = tmp_path
+            common.begin_measurement()
+            common.emit(
+                "fig00_demo",
+                "demo",
+                "table",
+                rows=[{"probes": 1, "mean_stretch": 2.0}],
+                params={"scale": "quick"},
+                seed=0,
+            )
+        finally:
+            common.OUT_DIR = out_dir
+            common.end_measurement()
+        record = json.loads((tmp_path / "fig00_demo.json").read_text())
+        schema = report.load_schema()
+        assert (
+            report.validate(
+                record, {"$ref": "#/definitions/record"}, root=schema
+            )
+            == []
+        )
+        assert (tmp_path / "fig00_demo.txt").read_text().startswith("== demo ==")

@@ -39,3 +39,11 @@ class TestCommands:
         assert main(["run", "gaps"]) == 0
         out = capsys.readouterr().out
         assert "softstate_stretch" in out
+
+    def test_run_with_profile(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(["run", "gaps", "--profile", "--profile-top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "softstate_stretch" in out  # the table still prints
+        assert "-- profile (gaps, top 5 by cumulative) --" in out
+        assert "cumulative" in out  # pstats header

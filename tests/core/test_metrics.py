@@ -22,7 +22,14 @@ class TestSummarize:
     def test_empty(self):
         stats = summarize([])
         assert stats["n"] == 0
-        assert np.isnan(stats["mean"])
+        for key in ("mean", "median", "p90", "p95", "min", "max"):
+            assert np.isnan(stats[key])
+
+    def test_singleton_collapses_every_stat(self):
+        stats = summarize([3.5])
+        assert stats["n"] == 1
+        for key in ("mean", "median", "p90", "p95", "min", "max"):
+            assert stats[key] == 3.5
 
     def test_accepts_generators(self):
         assert summarize(x for x in (1.0, 3.0))["mean"] == 2.0
@@ -39,6 +46,9 @@ class TestGini:
     def test_empty_and_zero(self):
         assert gini([]) == 0.0
         assert gini([0, 0]) == 0.0
+
+    def test_singleton_is_equal(self):
+        assert gini([42.0]) == pytest.approx(0.0, abs=1e-9)
 
     def test_scale_invariant(self):
         a = [1, 2, 3, 4]

@@ -5,7 +5,9 @@ import pytest
 
 from repro.core import RetryPolicy, measure_vector_reliably
 from repro.core.reliability import NO_RETRY
+from repro.core.telemetry import Telemetry
 from repro.netsim import FaultPlan, ProbeTimeout
+from repro.netsim.events import EventScheduler
 from repro.proximity.landmarks import select_landmarks
 
 
@@ -74,6 +76,54 @@ class TestCall:
             policy.call(broken)
         assert calls == [0]
 
+    def test_backoff_tracked_without_clock(self):
+        """Regression: ``call`` used to skip backoff entirely when no
+        clock was passed, so clockless callers silently under-reported
+        recovery time."""
+        policy = RetryPolicy(max_attempts=3, base_delay=5.0)
+
+        def flaky(attempt):
+            if attempt < 2:
+                raise ProbeTimeout(0, 1)
+            return "ok"
+
+        assert policy.call(flaky) == "ok"  # note: clock=None
+        assert policy.backoff_slept_ms == 5.0 + 10.0
+        assert policy.retries == 2
+        policy.reset_accounting()
+        assert policy.backoff_slept_ms == 0.0
+        assert policy.retries == 0
+
+    def test_backoff_charged_to_telemetry(self):
+        clock = EventScheduler()
+        telemetry = Telemetry(clock=clock)
+        policy = RetryPolicy(max_attempts=3, base_delay=5.0)
+
+        def always_lost(attempt):
+            raise ProbeTimeout(0, 1)
+
+        with pytest.raises(ProbeTimeout):
+            policy.call(always_lost, clock=clock, telemetry=telemetry)
+        assert telemetry.counters["backoff_ms"] == 15.0
+        assert telemetry.event_counts["retry"] == 2
+        assert clock.now == 15.0
+
+    def test_probe_advances_network_clock_and_telemetry(self, tiny_network):
+        hosts = tiny_network.topology.stub_nodes()
+        u, v = int(hosts[0]), int(hosts[1])
+        tiny_network.arm_faults(FaultPlan(probe_loss_rate=1.0), seed=0)
+        policy = RetryPolicy(max_attempts=3, base_delay=7.0)
+        start = tiny_network.clock.now
+        backoff_before = tiny_network.telemetry.counters["backoff_ms"]
+        with pytest.raises(ProbeTimeout):
+            policy.probe(tiny_network, u, v)
+        assert tiny_network.clock.now == start + 7.0 + 14.0
+        assert (
+            tiny_network.telemetry.counters["backoff_ms"] - backoff_before
+            == 21.0
+        )
+        tiny_network.disarm_faults()
+
     def test_probe_retries_through_loss(self, tiny_network):
         hosts = tiny_network.topology.stub_nodes()
         u, v = int(hosts[0]), int(hosts[1])
@@ -118,3 +168,62 @@ class TestReliableMeasurement:
                 tiny_network, landmarks, host, policy=RetryPolicy(max_attempts=2)
             )
         tiny_network.disarm_faults()
+
+
+class ScriptedNetwork:
+    """Replays preset (rtts, spiked) responses for rtt_many_detailed."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.clock = EventScheduler()
+        self.telemetry = Telemetry(clock=self.clock)
+
+    def rtt_many_detailed(self, host, hosts, category="rtt_probe"):
+        rtts, spiked = self.responses.pop(0)
+        assert len(rtts) == len(hosts)
+        return (
+            np.asarray(rtts, dtype=np.float64),
+            np.asarray(spiked, dtype=bool),
+        )
+
+
+class FakeLandmarks:
+    def __init__(self, n):
+        self.hosts = np.arange(n, dtype=np.int64)
+
+
+class TestSpikedFill:
+    def test_fill_prefers_worst_unspiked_measurement(self):
+        """Regression: silent entries were filled with ``nanmax`` of the
+        whole vector, so one latency-spiked outlier became the
+        pessimistic estimate for every lost landmark."""
+        network = ScriptedNetwork(
+            [
+                ([5.0, 100.0, np.nan, 10.0], [False, True, False, False]),
+                ([np.nan], [False]),  # the retry stays silent too
+            ]
+        )
+        vector = measure_vector_reliably(
+            network,
+            FakeLandmarks(4),
+            host=0,
+            policy=RetryPolicy(max_attempts=2, base_delay=1.0),
+        )
+        # worst non-spiked answer (10.0), not the 4x spike (100.0)
+        assert vector[2] == 10.0
+        assert list(vector[[0, 1, 3]]) == [5.0, 100.0, 10.0]
+
+    def test_fill_falls_back_to_spiked_max_when_nothing_clean(self):
+        network = ScriptedNetwork(
+            [
+                ([np.nan, 50.0], [False, True]),
+                ([np.nan], [False]),
+            ]
+        )
+        vector = measure_vector_reliably(
+            network,
+            FakeLandmarks(2),
+            host=0,
+            policy=RetryPolicy(max_attempts=2, base_delay=1.0),
+        )
+        assert vector[0] == 50.0

@@ -65,6 +65,35 @@ class TestAggregate:
         with pytest.raises(ValueError):
             aggregate_over_seeds(self.run_fn, [], ["n"], ["stretch"])
 
+    def test_cells_draw_fresh_resamples(self):
+        """Identical-value cells must get *different* bootstrap CIs.
+
+        Regression: each bootstrap_ci call used to fall back to its own
+        ``default_rng(0)``, so every cell resampled with identical
+        indices and the CIs correlated perfectly across rows.
+        """
+
+        def run_fn(seed):
+            rng = np.random.default_rng(seed)
+            values = rng.normal(10.0, 1.0, size=2)
+            # both cells see the *same* per-seed draws
+            return [{"n": n, "stretch": float(values.sum())} for n in (1, 2)]
+
+        rows = aggregate_over_seeds(run_fn, range(8), ["n"], ["stretch"])
+        first, second = rows
+        assert first["stretch"] == second["stretch"]  # same data by design
+        assert (first["stretch_lo"], first["stretch_hi"]) != (
+            second["stretch_lo"],
+            second["stretch_hi"],
+        )
+
+    def test_deterministic_across_runs(self):
+        runs = [
+            aggregate_over_seeds(self.run_fn, range(4), ["n"], ["stretch"])
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
 
 class TestPaired:
     def test_summary(self):

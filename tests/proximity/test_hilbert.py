@@ -108,10 +108,17 @@ class TestUnitInterface:
         assert curve.encode_point((0.0, 0.0)) == curve.encode((0, 0))
         assert curve.encode_point((0.99, 0.99)) == curve.encode((3, 3))
 
-    def test_encode_point_clamps(self):
+    def test_encode_point_boundary_one_maps_to_last_cell(self):
         curve = HilbertCurve(bits=2, dims=2)
-        curve.encode_point((1.0, 1.0))  # must not raise
-        curve.encode_point((-0.01, 0.5))
+        # x == 1.0 is a float-normalisation artefact, not a range error
+        assert curve.encode_point((1.0, 1.0)) == curve.encode((3, 3))
+
+    def test_encode_point_rejects_out_of_range(self):
+        curve = HilbertCurve(bits=2, dims=2)
+        with pytest.raises(ValueError, match="unit interval"):
+            curve.encode_point((-0.01, 0.5))
+        with pytest.raises(ValueError, match="unit interval"):
+            curve.encode_point((0.5, 1.01))
 
     def test_decode_center_round_trip(self):
         curve = HilbertCurve(bits=3, dims=2)
