@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -31,14 +31,23 @@ bench-smoke:
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
 	$(PYTHON) scripts/bench_report.py
 
+# The recovery acceptance scenario: 20% simultaneous crash + one
+# transit partition window under probe loss; asserts the stack-wide
+# invariants hold post-recovery and that no live node was falsely
+# killed, on every seed.  Leaves a recovery-telemetry JSON artifact
+# under benchmarks/out/chaos/.
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
+
 # What the GitHub workflow runs: the full test suite plus quick-scale
 # smoke runs of the resilience benches (timing disabled -- the assertions
-# on success rate / false purges are the point) and the bench-smoke
-# JSON trajectory check.
+# on success rate / false purges are the point), the chaos recovery
+# scenario, and the bench-smoke JSON trajectory check.
 ci:
 	$(PYTHON) -m pytest tests/ -q
 	$(PYTHON) -m pytest benchmarks/bench_ext_failure_resilience.py \
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
+	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 	$(PYTHON) scripts/bench_report.py --check
 

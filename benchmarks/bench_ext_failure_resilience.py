@@ -39,3 +39,44 @@ def bench_failure_resilience(benchmark):
     for row in rows:
         assert row["success_rate"] >= 0.95
     assert rows[-1]["table_repairs"] > rows[0]["table_repairs"]
+
+
+def bench_recovery_policies(benchmark):
+    """Lazy repair vs the active self-healing stack under chaos.
+
+    Both arms face the same 20% simultaneous crash + partition window
+    + probe loss; only the active arm runs the failure detector, crash
+    takeover, map replication and partition-heal reconciliation.  The
+    assertions pin the qualitative claim: only the active arm restores
+    the stack-wide invariants, it confirms every corpse, and probe
+    loss never kills a live node.
+    """
+    scale = current_scale()
+    rows = failure_resilience.run_recovery_policies(scale=scale)
+    emit(
+        "ext_recovery_policies",
+        f"Self-healing: lazy repair vs active recovery ({scale.name})",
+        format_table(rows),
+        rows=rows,
+        params={
+            "scale": scale.name,
+            "crash_fraction": 0.2,
+            "probe_loss": 0.1,
+            "replication_factor": 2,
+        },
+    )
+
+    benchmark.pedantic(
+        lambda: failure_resilience.run_recovery_policies(
+            scale=SCALES["quick"], probes=32
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    by_policy = {row["policy"]: row for row in rows}
+    active, lazy = by_policy["active"], by_policy["lazy"]
+    assert active["invariants_ok"] and not lazy["invariants_ok"]
+    assert active["confirmed_dead"] > 0 and lazy["confirmed_dead"] == 0
+    assert active["false_kills"] == 0
+    assert active["completion_rate"] >= lazy["completion_rate"] - 0.05

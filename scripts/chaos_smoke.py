@@ -1,0 +1,229 @@
+"""Chaos smoke: crash + partition + probe loss, then prove convergence.
+
+The acceptance scenario for the self-healing recovery stack
+(``src/repro/core/recovery.py``), run by ``make chaos-smoke`` and CI:
+
+* build an overlay, arm probe loss, one scheduled transit-domain
+  partition window, and map replication;
+* crash-stop 20% of the members *simultaneously* -- no graceful
+  departure, no instant takeover: orphaned zones, vanished map copies,
+  stale soft-state;
+* let the failure detector, crash takeover, re-replication and
+  partition-heal reconciliation run on the simulated clock, then a
+  bounded number of maintenance sweeps;
+* assert the stack-wide :func:`repro.core.recovery.check_invariants`
+  holds and -- probe loss being the only fault against live nodes --
+  that the detector's false-kill count is exactly 0, on every seed.
+
+A JSON artifact with the recovery telemetry of each seed is written
+for CI upload (``benchmarks/out/chaos/recovery_telemetry.json`` by
+default -- a subdirectory, so ``bench_report.py`` ignores it).
+
+Usage::
+
+    python scripts/chaos_smoke.py                 # 3 seeds, 64 nodes
+    python scripts/chaos_smoke.py --seeds 0 7 42 --nodes 96
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    DetectorParams,
+    NetworkParams,
+    OverlayParams,
+    TopologyAwareOverlay,
+    check_invariants,
+    make_network,
+)
+from repro.core.recovery import RECOVERY_CATEGORIES  # noqa: E402
+from repro.netsim.faults import FaultPlan, Partition  # noqa: E402
+
+DEFAULT_ARTIFACT = REPO_ROOT / "benchmarks" / "out" / "chaos" / "recovery_telemetry.json"
+
+
+def run_scenario(
+    seed: int,
+    nodes: int = 64,
+    crash_fraction: float = 0.2,
+    probe_loss: float = 0.15,
+    settle_ms: float = 20000.0,
+    max_sweeps: int = 5,
+) -> dict:
+    """One chaos run; returns its telemetry summary (raises on failure)."""
+    network = make_network(
+        NetworkParams(topology="tsk-large", topo_scale=0.25, seed=seed)
+    )
+    overlay = TopologyAwareOverlay(
+        network,
+        OverlayParams(
+            num_nodes=nodes,
+            landmarks=8,
+            policy="softstate",
+            replication_factor=2,
+            seed=seed + 3,
+        ),
+    )
+    overlay.build()
+    now = network.clock.now
+    plan = FaultPlan(
+        probe_loss_rate=probe_loss,
+        partitions=(Partition(now + 4000.0, now + 9000.0, (0,)),),
+    )
+    overlay.arm_faults(plan, seed=seed + 11)
+    overlay.enable_recovery(DetectorParams(period=500.0))
+
+    rng = np.random.default_rng(seed + 5)
+    victims = sorted(
+        int(v)
+        for v in rng.choice(
+            overlay.node_ids, size=int(crash_fraction * nodes), replace=False
+        )
+    )
+    lost = salvageable = 0
+    for victim in victims:
+        outcome = overlay.crash_node(victim)
+        lost += outcome["lost"]
+        salvageable += outcome["salvageable"]
+
+    network.clock.run_until(now + settle_ms)
+    detector, recovery = overlay.detector, overlay.recovery
+    sweeps = 0
+    while sweeps < max_sweeps:
+        sweeps += 1
+        network.clock.advance(overlay.maintenance.poll_interval)
+        overlay.maintenance.poll_once()
+        try:
+            summary = check_invariants(overlay, detector)
+            break
+        except AssertionError:
+            if sweeps == max_sweeps:
+                raise
+
+    assert sorted(detector.confirmed_dead) == victims, (
+        f"seed {seed}: confirmed {sorted(detector.confirmed_dead)} != "
+        f"crashed {victims}"
+    )
+    assert detector.false_kills == 0, (
+        f"seed {seed}: {detector.false_kills} live node(s) falsely killed"
+    )
+
+    return {
+        "seed": seed,
+        "nodes": nodes,
+        "crashed": len(victims),
+        "records_lost": lost,
+        "records_salvageable": salvageable,
+        "detector": {
+            "rounds": detector.rounds,
+            "confirmed": len(detector.confirmed_dead),
+            "false_kills": detector.false_kills,
+            "refutations": detector.refutations,
+            "shielded_verdicts": detector.shielded_verdicts,
+        },
+        "recovery": {
+            "takeovers": recovery.takeovers,
+            "invalidated": recovery.invalidated,
+            "rehosted": recovery.rehosted,
+            "republished": recovery.republished
+            + overlay.maintenance.republished,
+            "reconciliations": recovery.reconciliations,
+        },
+        "traffic": {
+            category: network.stats.get(category)
+            for category in RECOVERY_CATEGORIES
+        },
+        "sweeps_to_converge": sweeps,
+        "invariants": summary,
+    }
+
+
+def run_loss_only(
+    seed: int,
+    nodes: int = 64,
+    probe_loss: float = 0.2,
+    settle_ms: float = 20000.0,
+) -> dict:
+    """Probe loss only, nobody dies: the detector must kill no one."""
+    network = make_network(
+        NetworkParams(topology="tsk-large", topo_scale=0.25, seed=seed)
+    )
+    overlay = TopologyAwareOverlay(
+        network,
+        OverlayParams(
+            num_nodes=nodes, landmarks=8, policy="softstate", seed=seed + 3
+        ),
+    )
+    overlay.build()
+    overlay.arm_faults(FaultPlan(probe_loss_rate=probe_loss), seed=seed + 11)
+    overlay.enable_recovery(DetectorParams(period=500.0))
+    network.clock.run_until(network.clock.now + settle_ms)
+    detector = overlay.detector
+    assert detector.confirmed_dead == [], (
+        f"seed {seed}: probe loss alone killed {detector.confirmed_dead}"
+    )
+    assert detector.false_kills == 0
+    check_invariants(overlay, detector)
+    return {
+        "seed": seed,
+        "rounds": detector.rounds,
+        "suspicions_refuted": detector.refutations,
+        "false_kills": 0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument(
+        "--artifact", type=pathlib.Path, default=DEFAULT_ARTIFACT
+    )
+    args = parser.parse_args(argv)
+
+    results, loss_only = [], []
+    for seed in args.seeds:
+        result = run_scenario(seed, nodes=args.nodes)
+        results.append(result)
+        print(
+            f"seed {seed}: {result['crashed']} crashed, "
+            f"{result['detector']['confirmed']} confirmed in "
+            f"{result['detector']['rounds']} rounds, "
+            f"0 false kills, invariants OK after "
+            f"{result['sweeps_to_converge']} sweep(s)"
+        )
+    for seed in args.seeds:
+        outcome = run_loss_only(seed, nodes=args.nodes)
+        loss_only.append(outcome)
+        print(
+            f"seed {seed} (loss only): {outcome['rounds']} rounds, "
+            f"{outcome['suspicions_refuted']} suspicions refuted, 0 kills"
+        )
+
+    args.artifact.parent.mkdir(parents=True, exist_ok=True)
+    args.artifact.write_text(
+        json.dumps(
+            {
+                "scenario": "chaos_smoke",
+                "runs": results,
+                "loss_only": loss_only,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"telemetry artifact: {args.artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

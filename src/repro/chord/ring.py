@@ -166,6 +166,22 @@ class ChordRing:
         for observer in self.observers:
             observer("leave", node_id)
 
+    def invalidate_member(self, dead_id: int) -> int:
+        """Eagerly drop every finger pointing at ``dead_id``.
+
+        Crash recovery calls this once a death is *confirmed*, instead
+        of leaving each stale finger to be discovered (and charged as
+        ``table_repair``) on first use.  Returns entries removed.
+        """
+        removed = 0
+        for node in self.nodes.values():
+            stale = [i for i, entry in node.fingers.items() if entry == dead_id]
+            for index in stale:
+                del node.fingers[index]
+            removed += len(stale)
+        self._count("eager_invalidate", removed)
+        return removed
+
     # -- fingers ------------------------------------------------------------------------
 
     def finger_interval(self, node_id: int, index: int) -> tuple:

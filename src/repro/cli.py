@@ -67,6 +67,7 @@ def _figure_registry() -> dict:
         "churn": lambda: table(churn_timeline.run()),
         "resilience": lambda: table(failure_resilience.run()),
         "fault-injection": lambda: table(failure_resilience.run_fault_injection()),
+        "recovery": lambda: table(failure_resilience.run_recovery_policies()),
     }
 
 

@@ -12,6 +12,12 @@ from repro.core.churn import ChurnDriver, ChurnEvent, poisson_churn
 from repro.core.config import NetworkParams, OverlayParams, make_network
 from repro.core.metrics import summarize
 from repro.core.qos import LoadTracker, pareto_capacities
+from repro.core.recovery import (
+    DetectorParams,
+    FailureDetector,
+    RecoveryManager,
+    check_invariants,
+)
 from repro.core.reliability import NO_RETRY, RetryPolicy, measure_vector_reliably
 from repro.core.stats import aggregate_over_seeds, bootstrap_ci, paired_improvement
 from repro.core.telemetry import Telemetry, TraceEvent, diff_snapshots
@@ -19,16 +25,20 @@ from repro.core.telemetry import Telemetry, TraceEvent, diff_snapshots
 __all__ = [
     "ChurnDriver",
     "ChurnEvent",
+    "DetectorParams",
+    "FailureDetector",
     "LoadTracker",
     "NO_RETRY",
     "NetworkParams",
     "OverlayParams",
+    "RecoveryManager",
     "RetryPolicy",
     "Telemetry",
     "TopologyAwareOverlay",
     "TraceEvent",
     "aggregate_over_seeds",
     "bootstrap_ci",
+    "check_invariants",
     "make_network",
     "measure_vector_reliably",
     "paired_improvement",

@@ -84,6 +84,7 @@ class TopologyAwareOverlay:
             record_ttl=self.params.record_ttl,
             max_results=self.params.max_results,
             widen_ttl=self.params.widen_ttl,
+            replication_factor=self.params.replication_factor,
         )
         self.pubsub = PubSubService(self.store, self.ecan, network)
         self.maintenance = MaintenanceDriver(
@@ -101,6 +102,9 @@ class TopologyAwareOverlay:
         # pure function of the host stream, independent of landmark count.
         self._used_hosts: set = set()
         self._adaptive: set = set()
+        #: armed by :meth:`enable_recovery`
+        self.detector = None
+        self.recovery = None
 
     # -- fault injection -------------------------------------------------------
 
@@ -196,6 +200,57 @@ class TopologyAwareOverlay:
             # crash-stop: the process is gone, the host answers nothing
             self.network.faults.crash_host(node.host)
         self.ecan.leave(node_id)
+
+    def crash_node(self, node_id: int) -> dict:
+        """Crash-stop ``node_id`` with *no* immediate repair.
+
+        Unlike ``remove_node(graceful=False)`` -- which still runs the
+        instantaneous takeover (the pre-recovery modelling shortcut) --
+        a crashed node stays a member with orphaned zones and stale
+        soft-state until the failure detector confirms its death and
+        :class:`~repro.core.recovery.RecoveryManager` repairs it.  The
+        host stops answering, and every map copy it hosted vanishes
+        with the process (records whose copies all died are *lost*
+        until their subjects re-publish).  Returns the copy-loss
+        summary ``{"salvageable": ..., "lost": ...}``.
+        """
+        node = self.ecan.can.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"node {node_id} is not a member")
+        faults = self.network.faults
+        if faults is None:
+            raise RuntimeError(
+                "crash_node needs armed faults (arm_faults); "
+                "use remove_node(graceful=False) for the instant-takeover model"
+            )
+        faults.crash_host(node.host)
+        salvageable, lost = self.store.drop_hosted_by(node_id)
+        self.network.telemetry.emit(
+            "crash", node_id=node_id, host=node.host, lost=len(lost)
+        )
+        return {"salvageable": len(salvageable), "lost": len(lost)}
+
+    def enable_recovery(self, detector_params=None, seed: int = 0xFD):
+        """Arm the self-healing stack: failure detection, crash
+        takeover, re-replication and partition-heal reconciliation.
+
+        Idempotent; returns the :class:`~repro.core.recovery.RecoveryManager`.
+        """
+        if self.recovery is not None:
+            return self.recovery
+        from repro.core.recovery import FailureDetector, RecoveryManager
+
+        self.detector = FailureDetector(self, detector_params, seed=seed)
+        self.recovery = RecoveryManager(self, self.detector)
+        self.detector.start()
+        self.recovery.watch_partitions()
+        return self.recovery
+
+    def disable_recovery(self) -> None:
+        if self.detector is not None:
+            self.detector.stop()
+        self.detector = None
+        self.recovery = None
 
     def random_member(self) -> int:
         return self.ecan.can.random_node()

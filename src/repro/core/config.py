@@ -45,6 +45,8 @@ class OverlayParams:
     record_ttl: float = math.inf
     max_results: int = 16
     widen_ttl: int = 2
+    #: map copies per record (1 = primary only; >1 arms crash durability)
+    replication_factor: int = 1
     policy: str = "softstate"
     load_weight: float = 0.0
     seed: int = 0
@@ -56,6 +58,8 @@ class OverlayParams:
             raise ValueError("num_nodes must be positive")
         if self.rtt_budget < 1:
             raise ValueError("rtt_budget must be >= 1")
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
 
     def with_policy(self, policy: str, **changes) -> "OverlayParams":
         return replace(self, policy=policy, **changes)

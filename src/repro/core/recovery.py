@@ -1,0 +1,540 @@
+"""Self-healing recovery: detect, take over, re-replicate, reconcile.
+
+The paper's maintenance story (§5.2) assumes the overlay converges
+back to a consistent state after departures, but graceful leaves are
+the easy half: a *crash* leaves orphaned zones, vanished map shards
+and diverged stores.  This module closes the loop with four pieces,
+all driven by the simulated clock through the fault-injectable probe
+path (so every recovery action has a message bill and a latency):
+
+* :class:`FailureDetector` -- SWIM-style: each protocol period every
+  live member direct-pings one rotating peer; on silence it issues
+  indirect ping-reqs through ``witnesses`` other members; only when
+  every path stays silent does the target become *suspected*, and
+  only after ``suspicion_periods`` further all-silent rounds is it
+  confirmed dead.  Any answered probe refutes the suspicion, so probe
+  loss alone never kills a live node.  Death verdicts are additionally
+  held while an active transit partition severs the prober from the
+  target (:meth:`FaultInjector.active_partitions` makes the window
+  visible), so partitioned-but-alive nodes survive to be reconciled.
+* :class:`RecoveryManager` -- on a confirmed death it drives the CAN
+  takeover for the corpse's zones (``crash_takeover``), eagerly
+  invalidates every expressway entry pointing at it
+  (``eager_invalidate``), purges its soft-state records, re-hosts map
+  copies from surviving replicas (``softstate_rehost``) and drops its
+  subscriptions.  On a partition heal it runs an anti-entropy
+  reconciliation: missed pub/sub notifications resync, suspects are
+  re-probed (falsely-suspected nodes are un-suspected), records lost
+  with crashed hosts are re-published by their subjects, and records
+  naming dead hosts are purged.
+* :func:`check_invariants` -- the stack-wide convergence check run
+  after every chaos scenario: full tessellation coverage, neighbor
+  symmetry, no map copy hosted on a dead node, no record or table
+  entry naming a dead member.
+
+Every action is charged to :class:`~repro.netsim.network.MessageStats`
+and traced through telemetry, so recovery's cost shows up in the
+BENCH trajectory next to the traffic it protects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: stats categories the recovery stack may charge
+RECOVERY_CATEGORIES = (
+    "fd_ping",
+    "fd_ping_req",
+    "crash_takeover",
+    "takeover_fallback",
+    "eager_invalidate",
+    "softstate_rehost",
+    "recovery_republish",
+    "recovery_reconcile",
+)
+
+
+@dataclass(frozen=True)
+class DetectorParams:
+    """Knobs of the SWIM-style failure detector.
+
+    With probe loss rate ``L`` the probability that one round of a
+    live node stays silent is ``L ** (ping_attempts + witnesses)``;
+    a false death verdict needs ``suspicion_periods + 1`` consecutive
+    such rounds, so the defaults push the false-kill probability to
+    ``L**15`` -- effectively zero for any plausible loss rate.
+    """
+
+    #: protocol period (simulated ms) between detector rounds
+    period: float = 500.0
+    #: direct-ping attempts per round (retried with backoff)
+    ping_attempts: int = 2
+    #: indirect ping-req witnesses consulted when the direct ping is silent
+    witnesses: int = 3
+    #: additional all-silent rounds before a suspect is confirmed dead
+    suspicion_periods: int = 2
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.ping_attempts < 1:
+            raise ValueError("ping_attempts must be >= 1")
+        if self.witnesses < 0:
+            raise ValueError("witnesses must be non-negative")
+        if self.suspicion_periods < 0:
+            raise ValueError("suspicion_periods must be non-negative")
+
+
+class FailureDetector:
+    """Clock-driven SWIM-style failure detection over the overlay.
+
+    Probers rotate deterministically: in round ``r`` the ``i``-th
+    member (sorted) pings member ``i + 1 + (r mod (n-1))`` -- a
+    fixed-point-free permutation, so every member is probed exactly
+    once per round and a corpse accumulates suspicion at a bounded
+    rate.  Crashed members run no protocol (their ping slot is
+    skipped), but they stay *probed* until confirmed.
+    """
+
+    def __init__(self, overlay, params: DetectorParams = None, seed: int = 0xFD):
+        self.overlay = overlay
+        self.network = overlay.network
+        self.params = params if params is not None else DetectorParams()
+        self.rng = np.random.default_rng(seed)
+        #: node_id -> consecutive all-silent rounds observed
+        self.suspected: dict = {}
+        #: confirmed-dead node ids, in confirmation order
+        self.confirmed_dead: list = []
+        #: death verdicts rendered against nodes that were in fact
+        #: alive (the simulator knows ground truth); must stay 0 under
+        #: probe loss alone
+        self.false_kills = 0
+        #: suspicions cleared by a later answered probe
+        self.refutations = 0
+        #: verdicts deferred because a partition shielded the target
+        self.shielded_verdicts = 0
+        self.rounds = 0
+        #: callbacks invoked as ``fn(node_id)`` on a confirmed death
+        self.on_death: list = []
+        self._timer = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic detector round on the simulated clock."""
+        if self._timer is None:
+            self._timer = self.network.clock.schedule_every(
+                self.params.period, self.tick
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- probing -----------------------------------------------------------
+
+    @property
+    def _telemetry(self):
+        return getattr(self.network, "telemetry", None)
+
+    def _crashed_hosts(self) -> set:
+        faults = self.network.faults
+        return faults.crashed_hosts if faults is not None else set()
+
+    def _ping(self, src_host: int, dst_host: int, attempts: int, category: str) -> bool:
+        """Charged liveness ping(s) through the fault path.
+
+        Attempts are *not* backed off on the shared simulated clock:
+        all probers of a round act concurrently in a real deployment,
+        and SWIM bounds the whole round by the protocol period, so
+        serializing per-probe waits onto the global clock would stall
+        every other timer for the duration of the round.
+        """
+        from repro.netsim.faults import ProbeTimeout
+
+        for _ in range(max(1, attempts)):
+            try:
+                self.network.rtt(src_host, dst_host, category=category)
+                return True
+            except ProbeTimeout:
+                continue
+        return False
+
+    def _probe_target(self, prober: int, target: int, members: list) -> bool:
+        """Direct ping, then indirect ping-reqs; True when any answered."""
+        nodes = self.overlay.ecan.can.nodes
+        prober_host = nodes[prober].host
+        target_host = nodes[target].host
+        if self._ping(
+            prober_host, target_host, self.params.ping_attempts, "fd_ping"
+        ):
+            return True
+        # indirect: ask k witnesses to probe the target on our behalf.
+        # The prober picks witnesses from its *view* of the membership
+        # (which may include undetected corpses -- their ping-req then
+        # goes unanswered, exactly as in a real deployment).
+        pool = [
+            m
+            for m in members
+            if m != prober and m != target and m not in self.suspected
+        ]
+        k = min(self.params.witnesses, len(pool))
+        if k:
+            picks = self.rng.choice(len(pool), size=k, replace=False)
+            for index in picks:
+                witness_host = nodes[pool[int(index)]].host
+                if self._ping(witness_host, target_host, 1, "fd_ping_req"):
+                    return True
+        return False
+
+    def _shielded(self, prober_host: int, target_host: int) -> bool:
+        """Is the silence explainable by an active transit partition?
+
+        Two cases hold a verdict: the partition severs prober from
+        target (the direct path is down), or the target's domain is
+        *inside* the partitioned set -- then most witnesses sit on the
+        far side and their ping-reqs are blocked, so even a same-side
+        prober's silence proves nothing.
+        """
+        faults = self.network.faults
+        if faults is None:
+            return False
+        domains = self.network.topology.transit_domain
+        prober_domain = int(domains[prober_host])
+        target_domain = int(domains[target_host])
+        return any(
+            target_domain in p.domains or p.severs(prober_domain, target_domain)
+            for p in faults.active_partitions()
+        )
+
+    # -- rounds ------------------------------------------------------------
+
+    def tick(self) -> list:
+        """One detector round; returns nodes confirmed dead this round.
+
+        The whole round -- pings, ping-reqs, and any repairs triggered
+        by a confirmed death -- runs with the clock frozen: its actors
+        (every live prober, every survivor absorbing a zone) operate
+        concurrently, and the protocol ``period`` is what bounds the
+        round's duration, not the sum of their private retry waits.
+        """
+        telemetry = self._telemetry
+        with self.network.clock.frozen():
+            if telemetry is None:
+                return self._tick()
+            with telemetry.phase("failure_detection"):
+                return self._tick()
+
+    def _tick(self) -> list:
+        nodes = self.overlay.ecan.can.nodes
+        members = sorted(nodes)
+        n = len(members)
+        self.rounds += 1
+        if n < 2:
+            return []
+        crashed = self._crashed_hosts()
+        shift = 1 + (self.rounds - 1) % (n - 1)
+        answered: set = set()
+        silent: dict = {}
+        for i, prober in enumerate(members):
+            if nodes[prober].host in crashed:
+                continue  # a dead process runs no protocol
+            target = members[(i + shift) % n]
+            if prober == target:
+                continue
+            if self._probe_target(prober, target, members):
+                answered.add(target)
+            else:
+                silent[target] = prober
+
+        for target in answered:
+            if target in self.suspected:
+                del self.suspected[target]
+                self.refutations += 1
+                if self._telemetry is not None:
+                    self._telemetry.emit("fd_refute", node_id=target)
+
+        confirmed = []
+        for target, prober in silent.items():
+            if target in answered:
+                continue
+            count = self.suspected.get(target, 0) + 1
+            self.suspected[target] = count
+            if count <= self.params.suspicion_periods:
+                continue
+            if self._shielded(nodes[prober].host, nodes[target].host):
+                # hold the verdict: an active partition explains the
+                # silence; reconciliation re-probes after the heal
+                self.shielded_verdicts += 1
+                continue
+            confirmed.append(target)
+
+        for target in confirmed:
+            self._confirm(target)
+        return confirmed
+
+    def _confirm(self, node_id: int) -> None:
+        self.suspected.pop(node_id, None)
+        self.confirmed_dead.append(node_id)
+        node = self.overlay.ecan.can.nodes.get(node_id)
+        genuinely_dead = node is None or node.host in self._crashed_hosts()
+        if not genuinely_dead:
+            self.false_kills += 1
+        if self._telemetry is not None:
+            self._telemetry.emit(
+                "fd_confirm_death", node_id=node_id, false_positive=not genuinely_dead
+            )
+        for callback in list(self.on_death):
+            callback(node_id)
+
+    # -- reconciliation support --------------------------------------------
+
+    def reprobe_suspects(self) -> int:
+        """Direct-ping every suspect from up to ``witnesses`` + 1 live
+        probers; any answer un-suspects (partition-heal refutation).
+        Returns the number of suspicions cleared."""
+        nodes = self.overlay.ecan.can.nodes
+        crashed = self._crashed_hosts()
+        probers = [
+            m
+            for m in sorted(nodes)
+            if m not in self.suspected and nodes[m].host not in crashed
+        ]
+        cleared = 0
+        for target in list(self.suspected):
+            target_node = nodes.get(target)
+            if target_node is None:
+                del self.suspected[target]
+                continue
+            for prober in probers[: self.params.witnesses + 1]:
+                if self._ping(
+                    nodes[prober].host, target_node.host, 1, "fd_ping"
+                ):
+                    del self.suspected[target]
+                    self.refutations += 1
+                    cleared += 1
+                    break
+        return cleared
+
+
+class RecoveryManager:
+    """Turns death verdicts and partition heals into repairs."""
+
+    def __init__(self, overlay, detector: FailureDetector):
+        self.overlay = overlay
+        self.detector = detector
+        self.network = overlay.network
+        #: corpses repaired (takeover completed)
+        self.takeovers = 0
+        #: expressway entries eagerly invalidated
+        self.invalidated = 0
+        #: map copies re-hosted from surviving replicas
+        self.rehosted = 0
+        #: records re-published for subjects after total copy loss
+        self.republished = 0
+        #: reconciliation passes run (partition heals)
+        self.reconciliations = 0
+        detector.on_death.append(self.handle_death)
+
+    @property
+    def _telemetry(self):
+        return getattr(self.network, "telemetry", None)
+
+    def watch_partitions(self) -> int:
+        """Arm partition-heal reconciliation on every scheduled window."""
+        faults = self.network.faults
+        if faults is None:
+            return 0
+        return faults.watch_partitions(self.reconcile)
+
+    # -- crash takeover ----------------------------------------------------
+
+    def handle_death(self, node_id: int) -> None:
+        """Confirmed death: absorb zones, invalidate, purge, re-host."""
+        overlay = self.overlay
+        node = overlay.ecan.can.nodes.get(node_id)
+        if node is None:
+            return  # already departed (verdict raced a graceful leave)
+        telemetry = self._telemetry
+
+        def repair():
+            # other current suspects are likely corpses too: never hand
+            # the zones to one of them
+            dead = set(self.detector.suspected) | {node_id}
+            overlay.ecan.takeover_dead(node_id, dead=dead)
+            self.takeovers += 1
+            self.invalidated += overlay.ecan.invalidate_member(node_id)
+            overlay.pubsub.unsubscribe_all(node_id)
+            overlay.store.purge_record(node_id, charge=True)
+            self.rehosted += overlay.store.rehost_from_replicas(node_id)
+            overlay._used_hosts.discard(node.host)
+            overlay._adaptive.discard(node_id)
+            if telemetry is not None:
+                telemetry.emit("recovery_takeover", node_id=node_id)
+
+        if telemetry is None:
+            repair()
+        else:
+            with telemetry.phase("recovery"):
+                repair()
+
+    # -- partition-heal reconciliation -------------------------------------
+
+    def republish_lost(self) -> int:
+        """Subjects of crash-lost records re-publish (charged as publish
+        + ``recovery_republish`` bookkeeping).  Returns records restored.
+
+        Gated on the store's crash-loss ledger so a record purged by
+        lease expiry stays gone until its subject refreshes it.
+        """
+        overlay = self.overlay
+        store = overlay.store
+        members = overlay.ecan.can.nodes
+        restored = 0
+        for node_id in sorted({n for _, n in store.lost_records}):
+            if node_id not in members:
+                continue
+            if store.missing_regions(node_id):
+                store.publish(node_id)
+                self.network.stats.count("recovery_republish")
+                restored += 1
+        store.lost_records = [
+            (region, n)
+            for region, n in store.lost_records
+            if n in members and store.missing_regions(n)
+        ]
+        self.republished += restored
+        return restored
+
+    def purge_dead_references(self) -> int:
+        """Purge map records whose subject is no longer a member."""
+        overlay = self.overlay
+        members = overlay.ecan.can.nodes
+        stale = {
+            node_id
+            for bucket in overlay.store.maps.values()
+            for node_id in bucket
+            if node_id not in members
+        }
+        removed = 0
+        for node_id in sorted(stale):
+            removed += overlay.store.purge_record(node_id, charge=True)
+        return removed
+
+    def reconcile(self, partition=None) -> dict:
+        """Anti-entropy after a partition heals (or on demand).
+
+        Generalizes the pub/sub anti-entropy round: missed
+        notifications resync, suspects are re-probed and the live ones
+        un-suspected, lost records are re-published by their subjects,
+        and records naming dead members are purged.
+        """
+        telemetry = self._telemetry
+        self.network.stats.count("recovery_reconcile")
+        self.reconciliations += 1
+
+        def run():
+            resynced = self.overlay.pubsub.resync_once()
+            unsuspected = self.detector.reprobe_suspects()
+            republished = self.republish_lost()
+            purged = self.purge_dead_references()
+            return {
+                "resynced": resynced,
+                "unsuspected": unsuspected,
+                "republished": republished,
+                "purged": purged,
+            }
+
+        with self.network.clock.frozen():
+            if telemetry is None:
+                summary = run()
+            else:
+                with telemetry.phase("reconcile"):
+                    summary = run()
+        if telemetry is not None:
+            telemetry.emit("reconcile", **summary)
+        return summary
+
+
+def check_invariants(overlay, detector: FailureDetector = None) -> dict:
+    """Stack-wide structural invariants after a chaos scenario.
+
+    Raises ``AssertionError`` on the first violation; returns a small
+    summary dict when everything holds:
+
+    * the CAN tessellation covers the space exactly once and neighbor
+      links are symmetric and adjacent (``Can.check_invariants``);
+    * no member runs on a crashed host;
+    * every map record belongs to a live member, sits at its correct
+      :func:`~repro.softstate.maps.map_position`, and every copy is
+      hosted by a live member on a live host;
+    * the identity registry and expressway tables reference only live
+      members;
+    * no pub/sub subscription belongs to a departed node;
+    * nothing the detector confirmed dead is still a member.
+    """
+    can = overlay.ecan.can
+    can.check_invariants()
+    members = can.nodes
+    faults = overlay.network.faults
+    crashed = faults.crashed_hosts if faults is not None else set()
+
+    for node_id, node in members.items():
+        assert node.host not in crashed, (
+            f"member {node_id} runs on crashed host {node.host}"
+        )
+
+    store = overlay.store
+    entries = 0
+    for region, bucket in store.maps.items():
+        for node_id, stored in bucket.items():
+            entries += 1
+            assert node_id in members, (
+                f"map of {region} still holds a record for dead node {node_id}"
+            )
+            assert stored.record.host not in crashed, (
+                f"record of {node_id} names crashed host {stored.record.host}"
+            )
+            assert stored.position == store.position_of(stored.record, region), (
+                f"record of {node_id} sits at a stale position in {region}"
+            )
+            for position in (stored.position, *stored.replicas):
+                owner = can.owner_of_point(position)
+                assert owner in members, (
+                    f"copy of {node_id}'s record is hosted by dead node {owner}"
+                )
+                assert members[owner].host not in crashed, (
+                    f"copy of {node_id}'s record sits on a crashed host"
+                )
+
+    for node_id in store.registry:
+        assert node_id in members, f"registry holds dead identity {node_id}"
+
+    for node_id, table in overlay.ecan._tables.items():
+        assert node_id in members, f"expressway table of dead node {node_id}"
+        for row in table.values():
+            for entry in row.values():
+                assert entry in members, (
+                    f"expressway entry of {node_id} points at dead node {entry}"
+                )
+
+    for sub in overlay.pubsub._by_id.values():
+        assert sub.subscriber in members, (
+            f"subscription {sub.sub_id} of departed node {sub.subscriber}"
+        )
+
+    if detector is not None:
+        for node_id in detector.confirmed_dead:
+            assert node_id not in members, (
+                f"confirmed-dead node {node_id} is still a member"
+            )
+
+    return {
+        "nodes": len(members),
+        "map_entries": entries,
+        "volume": can.total_volume(),
+        "suspected": 0 if detector is None else len(detector.suspected),
+    }

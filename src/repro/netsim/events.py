@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
@@ -48,6 +49,7 @@ class EventScheduler:
         self._heap: list = []
         self._seq = itertools.count()
         self.now = 0.0
+        self._frozen = 0
 
     def schedule(self, delay: float, callback) -> EventHandle:
         """Run ``callback()`` after ``delay`` simulated time units."""
@@ -96,7 +98,28 @@ class EventScheduler:
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        self.now += duration
+        if not self._frozen:
+            self.now += duration
+
+    @contextmanager
+    def frozen(self):
+        """Hold the clock still across in-line :meth:`advance` calls.
+
+        :meth:`advance` models *one* actor's in-line wait.  A burst in
+        which many nodes act concurrently (every survivor repairing
+        after a confirmed crash, a whole detector round of parallel
+        pings) must not stack each actor's private backoff serially
+        onto the shared clock -- that would inflate simulated time by
+        the number of actors and starve every other timer.  Inside
+        this context ``advance()`` is a no-op on ``now`` (waits stay
+        visible through the retry/telemetry accounting); the caller's
+        own schedule bounds the burst's duration.
+        """
+        self._frozen += 1
+        try:
+            yield
+        finally:
+            self._frozen -= 1
 
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""

@@ -202,6 +202,48 @@ class FaultInjector:
             clock.schedule_at(float(time), crash)
         return len(times)
 
+    # -- partition visibility ----------------------------------------------
+
+    def active_partitions(self, now: float = None) -> list:
+        """Partitions currently severing traffic (at ``now``).
+
+        Callers -- the failure detector, recovery, experiments -- use
+        this to *react* to partition windows (e.g. hold a death verdict
+        for a node cut off by an active partition) instead of blindly
+        interpreting probe silence.
+        """
+        if now is None:
+            now = self.network.clock.now
+        return [p for p in self.plan.partitions if p.active(now)]
+
+    def watch_partitions(self, callback) -> int:
+        """Schedule ``callback(partition)`` at each partition's end.
+
+        Fires on the network's simulated clock when the window closes
+        (the moment traffic flows again), so recovery can run its
+        partition-heal reconciliation exactly once per window instead
+        of polling.  Windows already over are not watched.  Returns
+        the number of windows armed.
+        """
+        clock = self.network.clock
+        armed = 0
+        for partition in self.plan.partitions:
+            if partition.end <= clock.now:
+                continue
+            clock.schedule_at(
+                partition.end, lambda p=partition: callback(p)
+            )
+            armed += 1
+        return armed
+
+    def severed(self, u: int, v: int, now: float = None) -> bool:
+        """Would an active partition drop traffic between ``u`` and ``v``?"""
+        domains = self.network.topology.transit_domain
+        domain_u, domain_v = int(domains[u]), int(domains[v])
+        return any(
+            p.severs(domain_u, domain_v) for p in self.active_partitions(now)
+        )
+
     # -- fault decisions ---------------------------------------------------
 
     def _inject(self, category: str) -> None:

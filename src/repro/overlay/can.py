@@ -180,8 +180,23 @@ class CanOverlay:
         self._notify("zone_change", owner.node_id)
         return node
 
-    def leave(self, node_id: int) -> None:
+    def leave(self, node_id: int) -> set:
         """Remove ``node_id``; its zones are taken over by neighbors."""
+        return self._depart(node_id, exclude={node_id}, category="leave_update")
+
+    def takeover_dead(self, node_id: int, dead=(), category: str = "crash_takeover") -> set:
+        """Absorb a *crashed* member's zones (failure-detector driven).
+
+        Same zone handover as :meth:`leave`, but charged under
+        ``category`` and with ``dead`` -- other members currently
+        believed dead -- excluded from the taker candidates, so one
+        corpse never absorbs another's zones during a mass-crash
+        repair.  Returns the set of taker node ids.
+        """
+        exclude = {node_id} | {int(d) for d in dead}
+        return self._depart(node_id, exclude=exclude, category=category)
+
+    def _depart(self, node_id: int, exclude: set, category: str) -> set:
         node = self.nodes.get(node_id)
         if node is None:
             raise KeyError(f"node {node_id} not present")
@@ -190,18 +205,18 @@ class CanOverlay:
                 self._unindex_zone(zone)
             del self.nodes[node_id]
             self._notify("leave", node_id)
-            return
+            return set()
 
         affected = set(node.neighbors)
         takers = set()
         for zone in list(node.zones):
             self._unindex_zone(zone)
-            taker = self._takeover_target(zone, exclude=node_id)
+            taker = self._takeover_target(zone, exclude=exclude)
             taker_node = self.nodes[taker]
             taker_node.zones.append(zone)
             self._index_zone(zone, taker)
             takers.add(taker)
-            self._count("leave_update")
+            self._count(category)
         del self.nodes[node_id]
 
         for taker in takers:
@@ -210,12 +225,23 @@ class CanOverlay:
         self._notify("leave", node_id)
         for taker in takers:
             self._notify("zone_change", taker)
+        return takers
 
-    def _takeover_target(self, zone: Zone, exclude: int) -> int:
-        """Pick the node to absorb ``zone``: sibling owner, else smallest."""
+    def _takeover_target(self, zone: Zone, exclude) -> int:
+        """Pick the node to absorb ``zone``: sibling owner, else the
+        smallest-volume neighboring node, else (mass-crash fallback)
+        the globally smallest-volume surviving node.
+
+        ``exclude`` is the departing node id, or a collection of ids
+        (the departing node plus any other currently-dead members).
+        """
+        if isinstance(exclude, (set, frozenset, list, tuple)):
+            excluded = {int(e) for e in exclude}
+        else:
+            excluded = {int(exclude)}
         candidates = []
         for other_id, other in self.nodes.items():
-            if other_id == exclude:
+            if other_id in excluded:
                 continue
             for oz in other.zones:
                 if zone.is_sibling(oz):
@@ -223,7 +249,18 @@ class CanOverlay:
             if any(zone.is_neighbor(oz, self.torus) for oz in other.zones):
                 candidates.append((other.total_volume(), other_id))
         if not candidates:
-            raise RuntimeError(f"zone {zone} has no takeover candidate")
+            # After a mass crash every neighboring zone may belong to
+            # another corpse; hand the zone to the globally
+            # smallest-volume survivor rather than dying on a repair.
+            survivors = [
+                (other.total_volume(), other_id)
+                for other_id, other in self.nodes.items()
+                if other_id not in excluded
+            ]
+            if not survivors:
+                raise RuntimeError(f"zone {zone} has no takeover candidate")
+            self._count("takeover_fallback")
+            return min(survivors)[1]
         return min(candidates)[1]
 
     def _merge_zones(self, node: CanNode) -> None:

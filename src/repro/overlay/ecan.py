@@ -214,6 +214,38 @@ class EcanOverlay:
         """Leave the overlay; stale references elsewhere repair lazily."""
         self.can.leave(node_id)
 
+    def takeover_dead(self, node_id: int, dead=()) -> set:
+        """Absorb a crashed member's zones and eagerly invalidate it.
+
+        Unlike :meth:`leave`, every expressway table entry pointing at
+        the corpse is evicted immediately (charged as
+        ``eager_invalidate``) instead of waiting for a route to trip
+        over it.  Returns the set of taker node ids.
+        """
+        takers = self.can.takeover_dead(node_id, dead=dead)
+        self.invalidate_member(node_id)
+        return takers
+
+    def invalidate_member(self, dead_id: int) -> int:
+        """Evict ``dead_id`` from every node's expressway table.
+
+        The eager counterpart of the lazy ``table_repair`` path: after
+        a confirmed death the recovery layer invalidates all entries at
+        once so no route pays a failed hop to discover the corpse.
+        Returns the number of entries evicted.
+        """
+        removed = 0
+        for node_id, table in self._tables.items():
+            for level, row in table.items():
+                doomed = [cell for cell, entry in row.items() if entry == dead_id]
+                for cell in doomed:
+                    del row[cell]
+                    self._entry_failures.pop((node_id, level, cell), None)
+                    removed += 1
+        if removed:
+            self._count("eager_invalidate", removed)
+        return removed
+
     # -- high-order tables -------------------------------------------------------
 
     def _select(self, node_id: int, level: int, cell) -> int:

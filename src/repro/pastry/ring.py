@@ -184,6 +184,22 @@ class PastryRing:
         for observer in self.observers:
             observer("leave", node_id)
 
+    def invalidate_member(self, dead_id: int) -> int:
+        """Eagerly drop every routing-table slot naming ``dead_id``.
+
+        Crash recovery calls this once a death is *confirmed*, instead
+        of leaving each stale slot to be discovered (and charged as
+        ``table_repair``) on first use.  Returns slots removed.
+        """
+        removed = 0
+        for node in self.nodes.values():
+            stale = [s for s, entry in node.table.items() if entry == dead_id]
+            for slot in stale:
+                del node.table[slot]
+            removed += len(stale)
+        self._count("eager_invalidate", removed)
+        return removed
+
     # -- leaf set -------------------------------------------------------------------
 
     def leaf_set(self, node_id: int) -> list:

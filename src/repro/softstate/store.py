@@ -51,6 +51,9 @@ class MapEvent:
 class StoredRecord:
     record: NodeRecord
     position: tuple
+    #: replica positions (empty unless the store replicates); the copy
+    #: at ``position`` is the primary, lookups are served from it
+    replicas: tuple = ()
 
 
 @dataclass
@@ -76,7 +79,10 @@ class SoftStateStore:
         record_ttl: float = math.inf,
         max_results: int = 16,
         widen_ttl: int = 2,
+        replication_factor: int = 1,
     ):
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         self.ecan = ecan
         self.network = network
         self.space = space
@@ -84,12 +90,22 @@ class SoftStateStore:
         self.record_ttl = record_ttl
         self.max_results = max_results
         self.widen_ttl = widen_ttl
+        #: copies kept per record per region (1 = no replication); the
+        #: extra copies sit at landmark-number offsets so they usually
+        #: land on different hosting nodes and survive a host crash
+        self.replication_factor = replication_factor
         #: region -> {node_id -> StoredRecord}
         self.maps: dict = {}
         #: node_id -> its own NodeRecord (identity registry)
         self.registry: dict = {}
         #: node_id -> set of regions currently holding its record
         self._published: dict = {}
+        #: crashed host's node id -> [(region, node_id)] records whose
+        #: primary copy died but a replica survived (recovery re-hosts)
+        self._pending_rehost: dict = {}
+        #: (region, node_id) records lost outright with a crashed host;
+        #: their subjects re-publish on the next maintenance sweep
+        self.lost_records: list = []
         #: event hooks: callables taking a MapEvent
         self.hooks: list = []
         # A zone split/merge changes which regions enclose a node, so the
@@ -128,10 +144,48 @@ class SoftStateStore:
             record.landmark_number, self.space.total_bits, region, self.condense_rate
         )
 
+    def replica_positions(self, record: NodeRecord, region: Region) -> tuple:
+        """Positions of the record's extra copies inside ``region``.
+
+        Replica ``r`` sits at the primary position translated by
+        ``r/R`` of the region's side in every dimension, wrapping
+        inside the region.  A *geometric* offset is essential: the
+        condense rate squeezes the whole map into one small sub-box,
+        so any placement through :func:`map_position` (whatever the
+        landmark number) lands in that same box -- usually on the very
+        node whose crash replication must survive.  Spreading copies
+        around the region torus puts them in different zones, hence on
+        different hosting nodes.  Still a pure function of
+        ``(record, region)``, so lookups and repair agree on placement
+        under any tessellation.
+        """
+        if self.replication_factor <= 1:
+            return ()
+        primary = self.position_of(record, region)
+        zone = region.zone()
+        out = []
+        for r in range(1, self.replication_factor):
+            fraction = r / self.replication_factor
+            out.append(
+                tuple(
+                    lo + ((p - lo) + fraction * (hi - lo)) % (hi - lo)
+                    for p, lo, hi in zip(primary, zone.lo, zone.hi)
+                )
+            )
+        return tuple(out)
+
     def hosting_node(self, region: Region, node_id: int) -> int:
         """Overlay node currently hosting ``node_id``'s record in ``region``."""
         stored = self.maps[region][node_id]
         return self.ecan.can.owner_of_point(stored.position)
+
+    def copy_hosts(self, region: Region, node_id: int) -> list:
+        """Overlay nodes hosting each copy (primary first) of a record."""
+        stored = self.maps[region][node_id]
+        return [
+            self.ecan.can.owner_of_point(p)
+            for p in (stored.position, *stored.replicas)
+        ]
 
     # -- identity ------------------------------------------------------------
 
@@ -183,11 +237,16 @@ class SoftStateStore:
             self._remove_from(region, node_id, EventKind.NODE_LEFT, charge=False)
         for region in sorted(wanted, key=lambda r: r.level):
             position = self.position_of(record, region)
+            replicas = self.replica_positions(record, region)
             bucket = self.maps.setdefault(region, {})
             fresh = node_id not in bucket
-            bucket[node_id] = StoredRecord(record=record, position=position)
+            bucket[node_id] = StoredRecord(
+                record=record, position=position, replicas=replicas
+            )
             if charge:
                 self._charge_route(node_id, position, "softstate_publish")
+                for replica in replicas:
+                    self._charge_route(node_id, replica, "softstate_replicate")
             if fresh:
                 self._emit(EventKind.NODE_JOINED, region, record)
         self._published[node_id] = wanted
@@ -264,6 +323,115 @@ class SoftStateStore:
                     region, node_id, EventKind.RECORD_EXPIRED, charge=False
                 )
         return removed
+
+    # -- crash durability --------------------------------------------------------
+
+    def drop_hosted_by(self, dead_id: int) -> tuple:
+        """A member crash-stopped: every map copy it hosted vanishes.
+
+        Called at *crash time* (the zones are still the corpse's --
+        takeover has not run yet).  A record whose copies all lived on
+        ``dead_id`` is removed outright and queued in
+        :attr:`lost_records`; a record with a surviving replica stays
+        in the map and is queued for :meth:`rehost_from_replicas`.
+        Returns ``(salvageable, lost)`` lists of ``(region, node_id)``.
+        """
+        salvageable, lost = [], []
+        owner_of = self.ecan.can.owner_of_point
+        faults = getattr(self.network, "faults", None)
+        crashed_hosts = faults.crashed_hosts if faults is not None else set()
+
+        def copy_dead(owner: int) -> bool:
+            # a copy is gone when its host crashed -- this corpse or an
+            # earlier one of the same mass-crash
+            if owner == dead_id:
+                return True
+            node = self.ecan.can.nodes.get(owner)
+            return node is None or node.host in crashed_hosts
+
+        for region in list(self.maps):
+            bucket = self.maps[region]
+            for node_id in list(bucket):
+                stored = bucket[node_id]
+                owners = [
+                    owner_of(p) for p in (stored.position, *stored.replicas)
+                ]
+                if dead_id not in owners:
+                    continue
+                if all(copy_dead(owner) for owner in owners):
+                    self._published.get(node_id, set()).discard(region)
+                    self._remove_from(
+                        region, node_id, EventKind.RECORD_EXPIRED, charge=False
+                    )
+                    lost.append((region, node_id))
+                else:
+                    vacated = tuple(
+                        p
+                        for p, owner in zip(
+                            (stored.position, *stored.replicas), owners
+                        )
+                        if owner == dead_id
+                    )
+                    salvageable.append((region, node_id, vacated))
+        if salvageable:
+            self._pending_rehost.setdefault(dead_id, []).extend(salvageable)
+        self.lost_records.extend(lost)
+        telemetry = getattr(self.network, "telemetry", None)
+        if telemetry is not None and (salvageable or lost):
+            telemetry.emit(
+                "record_loss",
+                dead_id=dead_id,
+                lost=len(lost),
+                salvageable=len(salvageable),
+            )
+        return salvageable, lost
+
+    def rehost_from_replicas(self, dead_id: int, charge: bool = True) -> int:
+        """Re-host copies lost with ``dead_id`` from surviving replicas.
+
+        Run by recovery *after* zone takeover, when the dead node's
+        positions are owned by live takers again: a surviving copy's
+        host routes the record back to each vacated position, charged
+        as ``softstate_rehost`` traffic.  Returns copies re-hosted.
+        """
+        pending = self._pending_rehost.pop(dead_id, [])
+        rehosted = 0
+        owner_of = self.ecan.can.owner_of_point
+        faults = getattr(self.network, "faults", None)
+        crashed_hosts = faults.crashed_hosts if faults is not None else set()
+        for region, node_id, vacated in pending:
+            stored = self.maps.get(region, {}).get(node_id)
+            if stored is None:
+                continue  # withdrawn or purged in the meantime
+            src = node_id
+            for p in (stored.position, *stored.replicas):
+                if p in vacated:
+                    continue
+                owner = owner_of(p)
+                node = self.ecan.can.nodes.get(owner)
+                if node is not None and node.host not in crashed_hosts:
+                    src = owner  # a live surviving copy pushes the data
+                    break
+            for position in vacated:
+                if charge:
+                    self._charge_route(src, position, "softstate_rehost")
+                rehosted += 1
+        return rehosted
+
+    def missing_regions(self, node_id: int) -> list:
+        """Regions that should hold the node's record but do not.
+
+        Non-empty when copies were lost with a crashed host (and no
+        replica survived); the subject re-publishes on the next
+        maintenance sweep or reconciliation pass.
+        """
+        if node_id not in self.registry:
+            return []
+        return [
+            region
+            for region in self.current_regions(node_id)
+            if node_id not in self.maps.get(region, {})
+        ]
 
     # -- lookup (the paper's Table 1) ----------------------------------------------
 

@@ -36,6 +36,30 @@ class TestTrace:
     def test_zero_rate_produces_nothing(self, rng):
         assert poisson_churn(rng, 10.0, 0.0, 0.0) == []
 
+    def test_zero_duration_produces_nothing(self, rng):
+        assert poisson_churn(rng, 0.0, 1.0, 1.0) == []
+
+    def test_deterministic_under_fixed_seed(self):
+        first = poisson_churn(np.random.default_rng(42), 100.0, 0.5, 0.5)
+        second = poisson_churn(np.random.default_rng(42), 100.0, 0.5, 0.5)
+        assert first == second
+        assert first != poisson_churn(np.random.default_rng(43), 100.0, 0.5, 0.5)
+
+    def test_equal_time_ties_order_join_first(self):
+        class FixedDraws:
+            """Stands in for a Generator; replays scripted gaps."""
+
+            def __init__(self, draws):
+                self.draws = list(draws)
+
+            def exponential(self, scale):
+                return self.draws.pop(0)
+
+        # join stream: gap 2 then past the horizon; leave stream: same,
+        # so both processes emit exactly one event at t=2.0
+        events = poisson_churn(FixedDraws([2.0, 100.0, 2.0, 100.0]), 10.0, 1.0, 1.0)
+        assert [(e.time, e.kind) for e in events] == [(2.0, "join"), (2.0, "leave")]
+
 
 class TestDriver:
     def test_join_event_grows_overlay(self, overlay):

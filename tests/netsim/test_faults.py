@@ -187,3 +187,59 @@ class TestCrashStop:
         assert not injector.deliver(u, v)
         assert injector.injected["fault_crash_drop"] == 1
         tiny_network.disarm_faults()
+
+
+class TestPartitionObservability:
+    def test_active_partitions_tracks_the_window(self, tiny_network):
+        plan = FaultPlan(
+            partitions=(
+                Partition(start=100.0, end=200.0, domains=(0,)),
+                Partition(start=150.0, end=400.0, domains=(1,)),
+            )
+        )
+        injector = tiny_network.arm_faults(plan, seed=0)
+        try:
+            assert injector.active_partitions() == []
+            assert len(injector.active_partitions(now=160.0)) == 2
+            assert [p.domains for p in injector.active_partitions(now=300.0)] == [(1,)]
+            assert injector.active_partitions(now=400.0) == []  # end exclusive
+        finally:
+            tiny_network.disarm_faults()
+
+    def test_severed_pairs_follow_active_windows(self, tiny_network):
+        domains = tiny_network.topology.transit_domain
+        stubs = tiny_network.topology.stub_nodes()
+        inside = next(int(h) for h in stubs if domains[h] == 0)
+        outside = next(int(h) for h in stubs if domains[h] != 0)
+        same_side = next(
+            int(h) for h in stubs if domains[h] == 0 and int(h) != inside
+        )
+        plan = FaultPlan(partitions=(Partition(start=10.0, end=20.0, domains=(0,)),))
+        injector = tiny_network.arm_faults(plan, seed=0)
+        try:
+            assert not injector.severed(inside, outside, now=5.0)
+            assert injector.severed(inside, outside, now=15.0)
+            assert not injector.severed(inside, same_side, now=15.0)
+            assert not injector.severed(inside, outside, now=25.0)
+        finally:
+            tiny_network.disarm_faults()
+
+    def test_watch_partitions_fires_once_at_window_end(self, tiny_network):
+        clock = tiny_network.clock
+        plan = FaultPlan(
+            partitions=(
+                Partition(start=clock.now + 10.0, end=clock.now + 50.0, domains=(0,)),
+                Partition(start=clock.now - 20.0, end=clock.now - 5.0, domains=(1,)),
+            )
+        )
+        injector = tiny_network.arm_faults(plan, seed=0)
+        healed = []
+        try:
+            armed = injector.watch_partitions(healed.append)
+            assert armed == 1  # the already-over window is not watched
+            clock.run_until(clock.now + 30.0)
+            assert healed == []  # still inside the window
+            clock.run_until(clock.now + 100.0)
+            assert [p.domains for p in healed] == [(0,)]
+        finally:
+            tiny_network.disarm_faults()

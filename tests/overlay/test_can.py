@@ -193,3 +193,47 @@ class TestChurnProperty:
             can.check_invariants()
             point = tuple(rng.random(2))
             assert can.route(can.random_node(), point).success
+
+
+class TestCrashTakeover:
+    def test_takeover_dead_absorbs_and_charges(self):
+        stats = MessageStats()
+        can = build_can(16, stats=stats)
+        victim = 5
+        takers = can.takeover_dead(victim)
+        assert victim not in can.nodes
+        assert takers and victim not in takers
+        assert can.total_volume() == pytest.approx(1.0)
+        can.check_invariants()
+        assert stats.get("crash_takeover") > 0
+
+    def test_dead_members_never_absorb_each_other(self):
+        can = build_can(16)
+        victim = 3
+        dead = set(can.nodes[victim].neighbors)
+        takers = can.takeover_dead(victim, dead=dead)
+        assert takers.isdisjoint(dead | {victim})
+        can.check_invariants()
+
+    def test_fallback_to_global_survivor_when_all_neighbors_dead(self):
+        stats = MessageStats()
+        can = build_can(24, stats=stats)
+        victim = 7
+        # every neighbor (and neighbor's neighbor, to kill siblings too)
+        # is a corpse: the sibling/neighbor search must come up empty
+        dead = set(can.nodes[victim].neighbors)
+        for d in list(dead):
+            dead |= set(can.nodes[d].neighbors)
+        dead.discard(victim)
+        survivors = set(can.nodes) - dead - {victim}
+        assert survivors, "scenario needs at least one survivor"
+        takers = can.takeover_dead(victim, dead=dead)
+        assert takers <= survivors
+        assert stats.get("takeover_fallback") > 0
+        assert can.total_volume() == pytest.approx(1.0)
+        can.check_invariants()
+
+    def test_no_survivor_at_all_raises(self):
+        can = build_can(4)
+        with pytest.raises(RuntimeError):
+            can.takeover_dead(0, dead={1, 2, 3})
