@@ -22,13 +22,15 @@ bench-paper:
 report:
 	$(PYTHON) -m repro report
 
-# One core + one ext bench at quick scale, then validate the JSON
-# records against benchmarks/schema.json and refresh the repo-root
-# BENCH_core.json / BENCH_ext.json perf-trajectory files.
+# One core + one ext bench plus the hot-path scale bench at quick
+# scale, then validate the JSON records against benchmarks/schema.json
+# and refresh the repo-root BENCH_core.json / BENCH_ext.json
+# perf-trajectory files.
 bench-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest \
 		benchmarks/bench_fig05_hybrid_small.py \
-		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
+		benchmarks/bench_ext_fault_injection.py \
+		benchmarks/bench_perf_scale.py -q --benchmark-disable
 	$(PYTHON) scripts/bench_report.py
 
 # The recovery acceptance scenario: 20% simultaneous crash + one

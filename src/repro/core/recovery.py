@@ -467,6 +467,8 @@ def check_invariants(overlay, detector: FailureDetector = None) -> dict:
 
     * the CAN tessellation covers the space exactly once and neighbor
       links are symmetric and adjacent (``Can.check_invariants``);
+    * the store's incremental position->owner index agrees with a
+      brute-force re-resolution (``SoftStateStore.check_owner_index``);
     * no member runs on a crashed host;
     * every map record belongs to a live member, sits at its correct
       :func:`~repro.softstate.maps.map_position`, and every copy is
@@ -509,6 +511,11 @@ def check_invariants(overlay, detector: FailureDetector = None) -> dict:
                 assert members[owner].host not in crashed, (
                     f"copy of {node_id}'s record sits on a crashed host"
                 )
+
+    # the incremental position->owner index must agree with a brute-force
+    # re-resolution over the live tessellation (checked after the map
+    # record assertions so a tampered map fails with the specific message)
+    store.check_owner_index()
 
     for node_id in store.registry:
         assert node_id in members, f"registry holds dead identity {node_id}"

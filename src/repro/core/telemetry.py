@@ -92,6 +92,15 @@ class Telemetry:
         """Set gauge ``name`` to ``value`` (last write wins)."""
         self.gauges[name] = value
 
+    def bump(self, kind: str, n: int = 1) -> None:
+        """Count ``n`` occurrences of event ``kind``; never traces.
+
+        The counter-only fast path for per-probe/per-hop call sites:
+        equivalent to :meth:`emit` with no fields when tracing is off,
+        and cheaper because no keyword dict is built.
+        """
+        self.event_counts[kind] += n
+
     def emit(self, kind: str, n: int = 1, **fields) -> None:
         """Record ``n`` occurrences of event ``kind``.
 

@@ -74,17 +74,51 @@ class DistanceOracle:
     def rows(self, sources) -> np.ndarray:
         """Distances from each of ``sources`` to every node.
 
-        Bulk variant of :meth:`row`; results are *not* inserted into
-        the LRU cache (bulk callers keep their own matrix).
+        Bulk variant of :meth:`row` that shares the LRU row cache both
+        ways: rows already cached are reused (Dijkstra runs only for
+        the misses) and freshly computed rows are inserted, so later
+        :meth:`row`/:meth:`distance` calls for the same sources are
+        cache hits.  The returned matrix is a private writable copy.
         """
         sources = np.asarray(sources, dtype=np.int64)
-        dist = dijkstra(self.graph, directed=False, indices=sources)
-        return dist.astype(np.float32)
+        unique = []
+        seen = set()
+        for s in sources:
+            s = int(s)
+            if s not in seen:
+                seen.add(s)
+                unique.append(s)
+        have: dict = {}
+        missing = []
+        for s in unique:
+            cached = self._rows.get(s)
+            if cached is not None:
+                self._rows.move_to_end(s)
+                have[s] = cached
+            else:
+                missing.append(s)
+        if missing:
+            dist = dijkstra(
+                self.graph, directed=False, indices=np.asarray(missing, dtype=np.int64)
+            )
+            dist = np.atleast_2d(dist).astype(np.float32)
+            for s, fresh in zip(missing, dist):
+                fresh = fresh.copy()  # detach from the bulk matrix
+                fresh.flags.writeable = False
+                have[s] = fresh
+                self._rows[s] = fresh
+                if len(self._rows) > self.max_cached_rows:
+                    self._rows.popitem(last=False)
+        return np.vstack([have[int(s)] for s in sources])
 
     def distance(self, u: int, v: int) -> float:
         """One-way latency (ms) between physical nodes ``u`` and ``v``."""
         if u == v:
             return 0.0
+        cached = self._rows.get(u)
+        if cached is not None:
+            self._rows.move_to_end(u)
+            return float(cached[v])
         return float(self.row(u)[v])
 
     def pairwise(self, hosts) -> np.ndarray:

@@ -150,7 +150,11 @@ class Network:
         :class:`~repro.netsim.faults.ProbeTimeout`.
         """
         self.stats.count(category)
-        self.telemetry.emit("probe", category=category, u=int(u), v=int(v))
+        telemetry = self.telemetry
+        if telemetry.tracing:
+            telemetry.emit("probe", category=category, u=int(u), v=int(v))
+        else:
+            telemetry.bump("probe")
         if self.faults is not None:
             return self.faults.probe(u, v)
         return 2.0 * self.oracle.distance(u, v)
@@ -175,7 +179,11 @@ class Network:
         """
         hosts = np.asarray(hosts, dtype=np.int64)
         self.stats.count(category, len(hosts))
-        self.telemetry.emit("probe", n=len(hosts), category=category, u=int(u))
+        telemetry = self.telemetry
+        if telemetry.tracing:
+            telemetry.emit("probe", n=len(hosts), category=category, u=int(u))
+        else:
+            telemetry.bump("probe", len(hosts))
         if self.faults is not None:
             return self.faults.probe_many_detailed(u, hosts)
         row = self.oracle.row(u)
@@ -192,10 +200,21 @@ class Network:
         return self.oracle.row(u)
 
     def path_latency(self, hosts) -> float:
-        """Accumulated one-way latency along a host sequence; free."""
+        """Accumulated one-way latency along a host sequence; free.
+
+        Each distinct source's distance row is fetched once, so a long
+        path costs one cached-row lookup per unique hop rather than
+        one oracle round-trip per edge.
+        """
         total = 0.0
+        rows: dict = {}
         for a, b in zip(hosts, hosts[1:]):
-            total += self.oracle.distance(a, b)
+            if a == b:
+                continue
+            row = rows.get(a)
+            if row is None:
+                row = rows[a] = self.oracle.row(a)
+            total += float(row[b])
         return total
 
     # -- host management ---------------------------------------------------

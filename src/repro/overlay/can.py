@@ -47,10 +47,16 @@ class CanNode:
         return self.zones[0]
 
     def contains(self, point) -> bool:
-        return any(z.contains(point) for z in self.zones)
+        zones = self.zones
+        if len(zones) == 1:  # the overwhelmingly common case
+            return zones[0].contains(point)
+        return any(z.contains(point) for z in zones)
 
     def distance_to_point(self, point, torus: bool = True) -> float:
-        return min(z.distance_to_point(point, torus) for z in self.zones)
+        zones = self.zones
+        if len(zones) == 1:
+            return zones[0].distance_to_point(point, torus)
+        return min(z.distance_to_point(point, torus) for z in zones)
 
     def total_volume(self) -> float:
         return sum(z.volume() for z in self.zones)
@@ -72,6 +78,16 @@ class CanOverlay:
         self._node_order: list = []
         #: observers notified as (event, node_id) on zone-set changes
         self.observers: list = []
+        #: monotonically increasing tessellation version; bumped on every
+        #: zone-set mutation so external caches can key their validity off it
+        self.zone_version = 0
+        #: point -> owner memo; a pure function of the tessellation, so it
+        #: is cleared wholesale whenever a zone is (un)indexed.  Local data
+        #: structure only -- resolutions through it are never charged.
+        self._owner_memo: dict = {}
+        #: kill switch for the memo (the determinism regression test runs
+        #: with it off to prove caching never leaks into charged behavior)
+        self.owner_cache_enabled = True
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -94,6 +110,7 @@ class CanOverlay:
 
     def _index_zone(self, zone: Zone, node_id: int) -> None:
         self._by_depth.setdefault(zone.depth, {})[self._zone_index(zone)] = node_id
+        self._invalidate_owners()
 
     def _unindex_zone(self, zone: Zone) -> None:
         bucket = self._by_depth.get(zone.depth)
@@ -101,6 +118,12 @@ class CanOverlay:
             bucket.pop(self._zone_index(zone), None)
             if not bucket:
                 del self._by_depth[zone.depth]
+        self._invalidate_owners()
+
+    def _invalidate_owners(self) -> None:
+        self.zone_version += 1
+        if self._owner_memo:
+            self._owner_memo.clear()
 
     def _notify(self, event: str, node_id: int) -> None:
         for observer in self.observers:
@@ -124,7 +147,25 @@ class CanOverlay:
     # -- owner lookup (local data structure, not charged) --------------------
 
     def owner_of_point(self, point) -> int:
-        """Node id owning ``point``; O(#distinct depths) dictionary walk."""
+        """Node id owning ``point``; memoized O(#distinct depths) walk.
+
+        The memo is a pure cache over the current tessellation,
+        invalidated wholesale on every zone-set mutation; resolving an
+        owner is local computation and never charged.
+        """
+        key = point if type(point) is tuple else tuple(point)
+        if not self.owner_cache_enabled:
+            return self._resolve_owner(key)
+        memo = self._owner_memo
+        owner = memo.get(key)
+        if owner is None:
+            owner = self._resolve_owner(key)
+            if len(memo) >= (1 << 17):
+                memo.clear()
+            memo[key] = owner
+        return owner
+
+    def _resolve_owner(self, point) -> int:
         for depth in self._by_depth:
             zones = self._by_depth[depth]
             # reconstruct the index the containing zone of this depth would have
@@ -136,6 +177,24 @@ class CanOverlay:
             if node_id is not None:
                 return node_id
         raise KeyError(f"no owner for point {point}")
+
+    def owners_of_points(self, points) -> list:
+        """Batch :meth:`owner_of_point`; deduplicates repeated positions.
+
+        Condensed proximity maps place many records at few distinct
+        positions, so resolving each distinct point once (on top of the
+        memo) makes sweeps over whole maps near dictionary-speed.
+        """
+        seen: dict = {}
+        out = []
+        for point in points:
+            key = point if type(point) is tuple else tuple(point)
+            owner = seen.get(key)
+            if owner is None:
+                owner = self.owner_of_point(key)
+                seen[key] = owner
+            out.append(owner)
+        return out
 
     # -- membership -----------------------------------------------------------
 

@@ -32,6 +32,8 @@ message.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+
 import numpy as np
 
 from repro.overlay.can import CanOverlay
@@ -127,12 +129,17 @@ class EcanOverlay:
             else RandomNeighborPolicy(np.random.default_rng(0xECA9))
         )
         self._fallback_rng = np.random.default_rng(0x5F5E1)
-        # level -> {cell tuple -> set(node ids whose zone fits inside)}
+        # level -> {cell tuple -> sorted list of node ids whose zone
+        # fits inside}; kept sorted incrementally so member queries on
+        # the selection hot path never re-sort
         self._members: dict = {}
         # node id -> list of (level, cell) index entries, for clean removal
         self._indexed: dict = {}
         # node id -> {level -> {sibling cell -> representative node id}}
         self._tables: dict = {}
+        # (entry, level, cell) -> bool validity verdicts, flushed when
+        # the tessellation version moves (None key holds the version)
+        self._valid_memo: dict = {}
         self.can.observers.append(self._on_can_event)
 
     # -- conveniences ------------------------------------------------------
@@ -170,7 +177,9 @@ class EcanOverlay:
                 continue
             members = bucket.get(cell)
             if members is not None:
-                members.discard(node_id)
+                i = bisect_left(members, node_id)
+                if i < len(members) and members[i] == node_id:
+                    members.pop(i)
                 if not members:
                     del bucket[cell]
 
@@ -183,7 +192,11 @@ class EcanOverlay:
         for zone in node.zones:
             for level in range(1, min(zone.max_level, MAX_LEVEL) + 1):
                 cell = zone.cell(level)
-                self._members.setdefault(level, {}).setdefault(cell, set()).add(node_id)
+                members = self._members.setdefault(level, {}).setdefault(cell, [])
+                # two zones of one node can share a cell; keep ids unique
+                i = bisect_left(members, node_id)
+                if i >= len(members) or members[i] != node_id:
+                    insort(members, node_id)
                 entries.append((level, cell))
         self._indexed[node_id] = entries
 
@@ -196,7 +209,9 @@ class EcanOverlay:
         """
         found = self._members.get(level, {}).get(cell)
         if found:
-            out = sorted(n for n in found if n != exclude)
+            if exclude is None:
+                return list(found)
+            out = [n for n in found if n != exclude]
             if out:
                 return out
         owner = self.can.owner_of_point(cell_center(cell, level))
@@ -299,6 +314,21 @@ class EcanOverlay:
         return entry, repaired
 
     def _entry_valid(self, entry: int, level: int, cell) -> bool:
+        # validity is a pure function of the tessellation, so verdicts
+        # are memoised until any zone changes (can.zone_version bumps)
+        version = self.can.zone_version
+        memo = self._valid_memo
+        if memo.get(None) != version:
+            memo.clear()
+            memo[None] = version
+        key = (entry, level, cell)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        memo[key] = verdict = self._entry_valid_uncached(entry, level, cell)
+        return verdict
+
+    def _entry_valid_uncached(self, entry: int, level: int, cell) -> bool:
         node = self.can.nodes.get(entry)
         if node is None:
             return False
@@ -330,7 +360,10 @@ class EcanOverlay:
         self._count(category)
         telemetry = getattr(self.network, "telemetry", None)
         if telemetry is not None:
-            telemetry.emit("hop", category=category)
+            if telemetry.tracing:
+                telemetry.emit("hop", category=category)
+            else:
+                telemetry.bump("hop")
         faults = self.network.faults if self.network is not None else None
         if faults is None or not faults.armed:
             return True
@@ -389,29 +422,39 @@ class EcanOverlay:
         visited = {start_node}
         unreachable: set = set()
         result = RouteResult(path=path)
-        current = self.can.nodes[start_node]
+        nodes = self.can.nodes
+        torus = self.can.torus
+        current = nodes[start_node]
         degrade = self.retry_policy is not None
+        faults = self.network.faults if self.network is not None else None
+        perfect = faults is None or not faults.armed
+        # the destination point is fixed for the whole route, so its
+        # quadtree cell per level is computed once and reused per hop
+        pcells: list = [None]
         while not current.contains(point):
             if len(path) > max_hops:
                 result.owner = None
                 result.success = False
                 return result
             next_id = None
-            zone = current.zone
+            zcells = current.zone.cells()
+            top = len(zcells)
+            while len(pcells) < top:
+                pcells.append(point_cell(point, len(pcells)))
             diff_level = None
-            for level in range(1, zone.max_level + 1):
-                if zone.cell(level) != point_cell(point, level):
+            for level in range(1, top):
+                if zcells[level] != pcells[level]:
                     diff_level = level
                     break
             if diff_level is not None:
-                target_cell = point_cell(point, diff_level)
+                target_cell = pcells[diff_level]
                 entry, repaired = self.table_entry(
                     current.node_id, diff_level, target_cell
                 )
                 result.repairs += int(repaired)
                 if entry is not None and entry not in visited and entry not in unreachable:
                     if self._try_hop(
-                        current.host, self.can.nodes[entry].host, category, result
+                        current.host, nodes[entry].host, category, result
                     ):
                         next_id = entry
                         result.expressway_hops += 1
@@ -429,34 +472,48 @@ class EcanOverlay:
                         unreachable.add(entry)
                         result.degraded += 1
             if next_id is None:
-                ranked = sorted(
-                    (
-                        self.can.nodes[n].distance_to_point(point, self.can.torus),
-                        n,
-                    )
+                candidates = (
+                    (nodes[n].distance_to_point(point, torus), n)
                     for n in current.neighbors
                     if n not in visited and n not in unreachable
                 )
-                for _, neighbor_id in ranked:
-                    if self._try_hop(
-                        current.host,
-                        self.can.nodes[neighbor_id].host,
-                        category,
-                        result,
-                    ):
-                        next_id = neighbor_id
-                        result.can_hops += 1
-                        break
-                    if not degrade:
+                if perfect:
+                    # without faults the first attempt always delivers,
+                    # so only the nearest candidate is ever tried -- a
+                    # min() picks the same (distance, id) pair a full
+                    # sort would put first
+                    best = min(candidates, default=None)
+                    if best is None:
                         result.owner = None
                         result.success = False
                         return result
-                    unreachable.add(neighbor_id)
-                if next_id is None:
-                    result.owner = None
-                    result.success = False
-                    return result
-            current = self.can.nodes[next_id]
+                    neighbor_id = best[1]
+                    self._try_hop(
+                        current.host, nodes[neighbor_id].host, category, result
+                    )
+                    next_id = neighbor_id
+                    result.can_hops += 1
+                else:
+                    for _, neighbor_id in sorted(candidates):
+                        if self._try_hop(
+                            current.host,
+                            nodes[neighbor_id].host,
+                            category,
+                            result,
+                        ):
+                            next_id = neighbor_id
+                            result.can_hops += 1
+                            break
+                        if not degrade:
+                            result.owner = None
+                            result.success = False
+                            return result
+                        unreachable.add(neighbor_id)
+                    if next_id is None:
+                        result.owner = None
+                        result.success = False
+                        return result
+            current = nodes[next_id]
             visited.add(next_id)
             path.append(next_id)
         result.owner = current.node_id

@@ -16,6 +16,7 @@ level-``l`` cell); :meth:`Zone.cell` computes them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,13 @@ class Zone:
 
     def contains(self, point) -> bool:
         """Half-open containment test."""
-        return all(lo <= x < hi for lo, x, hi in zip(self.lo, point, self.hi))
+        lo = self.lo
+        hi = self.hi
+        for i in range(len(lo)):
+            x = point[i]
+            if x < lo[i] or x >= hi[i]:
+                return False
+        return True
 
     # -- splitting / merging ----------------------------------------------
 
@@ -130,13 +137,21 @@ class Zone:
     def distance_to_point(self, point, torus: bool = True) -> float:
         """Euclidean distance from the zone to ``point`` (0 if inside)."""
         total = 0.0
-        for lo, hi, x in zip(self.lo, self.hi, point):
+        los = self.lo
+        his = self.hi
+        for i in range(len(los)):
+            lo = los[i]
+            hi = his[i]
+            x = point[i]
             if lo <= x < hi:
                 continue
-            gap = min(abs(x - lo), abs(x - hi))
+            gap_lo = x - lo if x >= lo else lo - x
+            gap_hi = x - hi if x >= hi else hi - x
+            gap = gap_lo if gap_lo < gap_hi else gap_hi
             if torus:
-                width = hi - lo
-                gap = min(gap, 1.0 - width - gap)
+                wrapped = 1.0 - (hi - lo) - gap
+                if wrapped < gap:
+                    gap = wrapped
             total += gap * gap
         return total ** 0.5
 
@@ -146,20 +161,43 @@ class Zone:
         """Index of the level-``level`` cell containing this zone.
 
         Valid for ``0 <= level <= max_level``; the cell index is a
-        tuple of per-dimension integers in ``[0, 2^level)``.
+        tuple of per-dimension integers in ``[0, 2^level)``.  Zones are
+        immutable, so the result is memoised per instance (routing asks
+        for the same cells on every hop through a node).
         """
+        cells = self.__dict__.get("_cells")
+        if cells is None:
+            cells = {}
+            object.__setattr__(self, "_cells", cells)
+        hit = cells.get(level)
+        if hit is not None:
+            return hit
         if level < 0 or level > self.max_level:
             raise ValueError(
                 f"zone at depth {self.depth} has no single cell at level {level}"
             )
         scale = 1 << level
-        return tuple(int(lo * scale) for lo in self.lo)
+        cells[level] = result = tuple(int(lo * scale) for lo in self.lo)
+        return result
+
+    def cells(self) -> tuple:
+        """Cells of every level ``0..max_level``, memoised as one tuple.
+
+        Lets routing scan for the first differing level with plain
+        indexing instead of a method call per level.
+        """
+        got = self.__dict__.get("_cells_all")
+        if got is None:
+            got = tuple(self.cell(level) for level in range(self.max_level + 1))
+            object.__setattr__(self, "_cells_all", got)
+        return got
 
 
 def point_cell(point, level: int) -> tuple:
     """Index of the level-``level`` quadtree cell containing ``point``."""
     scale = 1 << level
-    return tuple(min(scale - 1, int(x * scale)) for x in point)
+    top = scale - 1
+    return tuple([c if (c := int(x * scale)) < top else top for x in point])
 
 
 def cell_center(cell: tuple, level: int) -> tuple:
@@ -168,6 +206,7 @@ def cell_center(cell: tuple, level: int) -> tuple:
     return tuple((c + 0.5) * side for c in cell)
 
 
+@lru_cache(maxsize=1 << 14)
 def cell_zone(cell: tuple, level: int) -> Zone:
     """The quadtree cell as a :class:`Zone` (depth = level * dims)."""
     side = 1.0 / (1 << level)

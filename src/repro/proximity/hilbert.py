@@ -19,6 +19,11 @@ the property-based tests.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
+#: entries kept per curve instance and direction (encode / decode)
+_CACHE_SIZE = 1 << 15
+
 
 class HilbertCurve:
     """Hilbert index <-> coordinates for ``dims`` dimensions, ``bits`` each.
@@ -34,6 +39,11 @@ class HilbertCurve:
             raise ValueError("dims must be >= 1")
         self.bits = bits
         self.dims = dims
+        # Skilling's transform is pure in (bits, dims, input), so both
+        # directions memoise per instance; the curves in play are few
+        # and long-lived, and hot paths re-encode the same cells.
+        self._encode_cached = lru_cache(maxsize=_CACHE_SIZE)(self._encode_impl)
+        self._decode_cached = lru_cache(maxsize=_CACHE_SIZE)(self._decode_impl)
 
     @property
     def side(self) -> int:
@@ -49,6 +59,13 @@ class HilbertCurve:
 
     def encode(self, coords) -> int:
         """Hilbert index of integer cell ``coords``."""
+        return self._encode_cached(tuple(coords))
+
+    def decode(self, index: int) -> tuple:
+        """Integer cell coordinates of Hilbert ``index``."""
+        return self._decode_cached(index)
+
+    def _encode_impl(self, coords: tuple) -> int:
         x = list(coords)
         if len(x) != self.dims:
             raise ValueError(f"expected {self.dims} coordinates, got {len(x)}")
@@ -59,8 +76,7 @@ class HilbertCurve:
         transpose = self._axes_to_transpose(x)
         return self._transpose_to_index(transpose)
 
-    def decode(self, index: int) -> tuple:
-        """Integer cell coordinates of Hilbert ``index``."""
+    def _decode_impl(self, index: int) -> tuple:
         if not 0 <= index < self.length:
             raise ValueError(f"index {index} outside [0, {self.length})")
         transpose = self._index_to_transpose(index)

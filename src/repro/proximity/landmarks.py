@@ -156,6 +156,13 @@ class LandmarkSpace:
             raise ValueError("index_dims must be within [1, #landmarks]")
         self.index_dims = index_dims
         self.curve = HilbertCurve(bits=bits_per_dim, dims=index_dims)
+        # vector-prefix bytes -> (bin cell, landmark number); the same
+        # registered vectors are re-binned on every publish/lookup, so
+        # the derivation is memoised (bounded -- see _MEMO_LIMIT)
+        self._derived: dict = {}
+
+    #: entries kept in the vector -> (cell, number) memo
+    _MEMO_LIMIT = 1 << 16
 
     @property
     def total_bits(self) -> int:
@@ -171,16 +178,32 @@ class LandmarkSpace:
         """Measure a host's landmark vector (charged)."""
         return measure_vector(network, host, self.landmarks, category)
 
+    def _derive(self, vector: np.ndarray) -> tuple:
+        """(grid cell, landmark number) of a vector, memoised."""
+        prefix = np.ascontiguousarray(
+            np.asarray(vector, dtype=np.float64)[: self.index_dims]
+        )
+        key = prefix.tobytes()
+        hit = self._derived.get(key)
+        if hit is not None:
+            return hit
+        side = 1 << self.bits_per_dim
+        scaled = prefix / self.landmarks.max_rtt_ms
+        cells = np.clip((scaled * side).astype(np.int64), 0, side - 1)
+        cell = tuple(int(c) for c in cells)
+        derived = (cell, self.curve.encode(cell))
+        if len(self._derived) >= self._MEMO_LIMIT:
+            self._derived.clear()
+        self._derived[key] = derived
+        return derived
+
     def bin_vector(self, vector: np.ndarray) -> tuple:
         """Grid cell of the vector's first ``index_dims`` components."""
-        side = 1 << self.bits_per_dim
-        scaled = np.asarray(vector[: self.index_dims]) / self.landmarks.max_rtt_ms
-        cells = np.clip((scaled * side).astype(np.int64), 0, side - 1)
-        return tuple(int(c) for c in cells)
+        return self._derive(vector)[0]
 
     def number(self, vector: np.ndarray) -> int:
         """Landmark number: Hilbert index of the vector's grid cell."""
-        return self.curve.encode(self.bin_vector(vector))
+        return self._derive(vector)[1]
 
     def number_distance(self, a: int, b: int) -> int:
         """1-D distance between landmark numbers (closeness proxy)."""

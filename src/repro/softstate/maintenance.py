@@ -166,7 +166,7 @@ class MaintenanceDriver:
         verdicts: dict = {}
         for region, bucket in list(self.store.maps.items()):
             for node_id, stored in list(bucket.items()):
-                owner = self.ecan.can.owner_of_point(stored.position)
+                owner = self.store.record_owner(region, node_id)
                 owner_node = self.ecan.can.nodes.get(owner)
                 if owner_node is None:
                     continue

@@ -67,6 +67,7 @@ def _expansion_curve(total_bits: int, dims: int) -> HilbertCurve:
     return HilbertCurve(bits=bits_per_dim, dims=dims)
 
 
+@lru_cache(maxsize=1 << 16)
 def map_position(
     landmark_number: int,
     total_bits: int,

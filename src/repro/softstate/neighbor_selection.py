@@ -63,10 +63,12 @@ class SoftStateNeighborPolicy(NeighborPolicy):
             return None
         self._selecting = True
         try:
+            # no explicit query_vector: the default path uses the same
+            # registered vector plus the identity's cached landmark
+            # number, skipping a re-encode per selection
             result = self.store.lookup(
                 node_id,
                 Region(level, cell),
-                query_vector=own.landmark_vector,
                 max_results=max(self.rtt_budget, 1),
             )
         finally:

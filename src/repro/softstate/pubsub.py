@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.softstate.maps import Region, map_position
+from repro.softstate.maps import Region
 from repro.softstate.store import EventKind, MapEvent, SoftStateStore
 
 
@@ -146,12 +146,7 @@ class PubSubService:
         """Register interest; charged as one overlay route to the map."""
         record = self.store.registry.get(subscriber)
         if record is not None and subscriber in self.ecan.can.nodes:
-            position = map_position(
-                record.landmark_number,
-                self.store.space.total_bits,
-                region,
-                self.store.condense_rate,
-            )
+            position = self.store.position_of(record, region)
             self.ecan.route(subscriber, position, category="pubsub_subscribe")
         else:
             self.network.stats.count("pubsub_subscribe")
@@ -231,12 +226,7 @@ class PubSubService:
                 sub.callback(sub, event)
 
     def _rendezvous_of(self, event: MapEvent) -> int:
-        position = map_position(
-            event.record.landmark_number,
-            self.store.space.total_bits,
-            event.region,
-            self.store.condense_rate,
-        )
+        position = self.store.position_of(event.record, event.region)
         return self.ecan.can.owner_of_point(position)
 
     def _deliver_tree(self, rendezvous: int, subscribers) -> tuple:
@@ -301,12 +291,7 @@ class PubSubService:
             for sub, event in pending:
                 if sub.sub_id not in self._by_id:
                     continue  # unsubscribed in the meantime
-                position = map_position(
-                    event.record.landmark_number,
-                    self.store.space.total_bits,
-                    event.region,
-                    self.store.condense_rate,
-                )
+                position = self.store.position_of(event.record, event.region)
                 result = self.ecan.route(
                     subscriber, position, category="pubsub_resync"
                 )

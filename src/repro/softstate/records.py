@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 
 @dataclass
 class NodeRecord:
@@ -27,6 +29,18 @@ class NodeRecord:
     expires_at: float = math.inf
     #: extension point for additional published statistics (§6)
     extra: dict = field(default_factory=dict)
+    #: lazily cached read-only ndarray of ``landmark_vector``; derived
+    #: data, so excluded from equality/repr and carried by ``replace``
+    vector_array: object = field(default=None, compare=False, repr=False)
+
+    def vector(self) -> np.ndarray:
+        """The landmark vector as a cached read-only float64 array."""
+        array = self.vector_array
+        if array is None:
+            array = np.asarray(self.landmark_vector, dtype=np.float64)
+            array.flags.writeable = False
+            self.vector_array = array
+        return array
 
     def is_expired(self, now: float) -> bool:
         return now >= self.expires_at

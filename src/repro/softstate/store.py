@@ -54,6 +54,10 @@ class StoredRecord:
     #: replica positions (empty unless the store replicates); the copy
     #: at ``position`` is the primary, lookups are served from it
     replicas: tuple = ()
+    #: per-region insertion sequence (monotone); sorting by it
+    #: reproduces the bucket's dict insertion order, so index-served
+    #: lookups return records in exactly the order a bucket scan would
+    seq: int = 0
 
 
 @dataclass
@@ -96,6 +100,24 @@ class SoftStateStore:
         self.replication_factor = replication_factor
         #: region -> {node_id -> StoredRecord}
         self.maps: dict = {}
+        #: region -> {node_id -> overlay node hosting the primary copy}.
+        #: An incremental mirror of :attr:`maps` kept current through the
+        #: CAN's observer events, so lookups and sweeps never re-resolve
+        #: ``owner_of_point`` per record (owner resolution is a local
+        #: data structure, never charged).
+        self._owners: dict = {}
+        #: reverse side of :attr:`_owners`: owner node -> {region ->
+        #: set(node_id)} entries attributed to it, so a zone event
+        #: re-resolves only the touched owner's entries and a lookup
+        #: reads the serving node's shard without scanning the map
+        self._attributed: dict = {}
+        #: region -> next insertion sequence number (never reused, so
+        #: seq order always equals bucket insertion order)
+        self._seq: dict = {}
+        #: kill switch for the incremental index; the determinism
+        #: regression test runs with it off to prove the cache never
+        #: leaks into charged behavior
+        self.use_owner_index = True
         #: node_id -> its own NodeRecord (identity registry)
         self.registry: dict = {}
         #: node_id -> set of regions currently holding its record
@@ -114,8 +136,77 @@ class SoftStateStore:
         ecan.can.observers.append(self._on_zone_event)
 
     def _on_zone_event(self, event: str, node_id: int) -> None:
+        # keep the position->owner index current *before* any republish:
+        # ownership of a stored position can only change when the zone
+        # set of its current host changes (split, merge, handover), so
+        # only entries attributed to ``node_id`` need re-resolution.  A
+        # "join" carries no attributed entries yet; the paired
+        # "zone_change" of the split owner covers the moved positions.
+        if event in ("zone_change", "leave"):
+            self._reassign_hosted(node_id)
         if event == "zone_change" and node_id in self.registry:
             self.publish(node_id)
+
+    def _attribution_drop(self, owner: int, region: Region, node_id: int) -> None:
+        by_region = self._attributed.get(owner)
+        if by_region is None:
+            return
+        shard = by_region.get(region)
+        if shard is None:
+            return
+        shard.discard(node_id)
+        if not shard:
+            del by_region[region]
+            if not by_region:
+                del self._attributed[owner]
+
+    def _index_insert(self, region: Region, node_id: int, owner: int) -> None:
+        """Attribute ``(region, node_id)`` to ``owner`` in both directions."""
+        owners = self._owners.setdefault(region, {})
+        old = owners.get(node_id)
+        if old is not None and old != owner:
+            self._attribution_drop(old, region, node_id)
+        owners[node_id] = owner
+        self._attributed.setdefault(owner, {}).setdefault(region, set()).add(node_id)
+
+    def _index_remove(self, region: Region, node_id: int) -> None:
+        """Drop ``(region, node_id)`` from both sides of the index."""
+        owners = self._owners.get(region)
+        if owners is None:
+            return
+        owner = owners.pop(node_id, None)
+        if not owners:
+            del self._owners[region]
+        if owner is not None:
+            self._attribution_drop(owner, region, node_id)
+
+    def _reassign_hosted(self, changed_id: int) -> None:
+        """Re-resolve owner-index entries attributed to ``changed_id``.
+
+        The reverse index names exactly the entries that can move, so
+        the cost of a zone event is proportional to the changed node's
+        hosted records, not the store size.  Positions still inside one
+        of the node's zones keep their attribution without an owner
+        walk; positions that moved (or whose host departed) are
+        re-resolved against the fresh tessellation.
+        """
+        if not self.use_owner_index:
+            return
+        by_region = self._attributed.get(changed_id)
+        if not by_region:
+            return
+        node = self.ecan.can.nodes.get(changed_id)
+        owner_of = self.ecan.can.owner_of_point
+        for region, shard in list(by_region.items()):
+            bucket = self.maps.get(region, {})
+            for node_id in list(shard):
+                stored = bucket.get(node_id)
+                if stored is None:  # defensive: index out of step with map
+                    self._index_remove(region, node_id)
+                    continue
+                if node is not None and node.contains(stored.position):
+                    continue
+                self._index_insert(region, node_id, owner_of(stored.position))
 
     # -- internals ---------------------------------------------------------
 
@@ -174,18 +265,28 @@ class SoftStateStore:
             )
         return tuple(out)
 
+    def record_owner(self, region: Region, node_id: int) -> int:
+        """Owner of the record's primary copy, served from the index.
+
+        Falls back to a fresh ``owner_of_point`` walk when the index is
+        disabled or (defensively) missing the entry.
+        """
+        if self.use_owner_index:
+            owner = self._owners.get(region, {}).get(node_id)
+            if owner is not None:
+                return owner
+        return self.ecan.can.owner_of_point(self.maps[region][node_id].position)
+
     def hosting_node(self, region: Region, node_id: int) -> int:
         """Overlay node currently hosting ``node_id``'s record in ``region``."""
-        stored = self.maps[region][node_id]
-        return self.ecan.can.owner_of_point(stored.position)
+        return self.record_owner(region, node_id)
 
     def copy_hosts(self, region: Region, node_id: int) -> list:
         """Overlay nodes hosting each copy (primary first) of a record."""
         stored = self.maps[region][node_id]
-        return [
-            self.ecan.can.owner_of_point(p)
-            for p in (stored.position, *stored.replicas)
-        ]
+        return self.ecan.can.owners_of_points(
+            (stored.position, *stored.replicas)
+        )
 
     # -- identity ------------------------------------------------------------
 
@@ -239,10 +340,20 @@ class SoftStateStore:
             position = self.position_of(record, region)
             replicas = self.replica_positions(record, region)
             bucket = self.maps.setdefault(region, {})
-            fresh = node_id not in bucket
+            prior = bucket.get(node_id)
+            fresh = prior is None
+            if fresh:
+                seq = self._seq.get(region, 0)
+                self._seq[region] = seq + 1
+            else:
+                seq = prior.seq
             bucket[node_id] = StoredRecord(
-                record=record, position=position, replicas=replicas
+                record=record, position=position, replicas=replicas, seq=seq
             )
+            if self.use_owner_index:
+                self._index_insert(
+                    region, node_id, self.ecan.can.owner_of_point(position)
+                )
             if charge:
                 self._charge_route(node_id, position, "softstate_publish")
                 for replica in replicas:
@@ -285,6 +396,7 @@ class SoftStateStore:
         stored = bucket.pop(node_id, None)
         if stored is None:
             return 0
+        self._index_remove(region, node_id)
         if not bucket:
             del self.maps[region]
         if charge:
@@ -337,7 +449,7 @@ class SoftStateStore:
         Returns ``(salvageable, lost)`` lists of ``(region, node_id)``.
         """
         salvageable, lost = [], []
-        owner_of = self.ecan.can.owner_of_point
+        owners_of = self.ecan.can.owners_of_points
         faults = getattr(self.network, "faults", None)
         crashed_hosts = faults.crashed_hosts if faults is not None else set()
 
@@ -353,9 +465,7 @@ class SoftStateStore:
             bucket = self.maps[region]
             for node_id in list(bucket):
                 stored = bucket[node_id]
-                owners = [
-                    owner_of(p) for p in (stored.position, *stored.replicas)
-                ]
+                owners = owners_of((stored.position, *stored.replicas))
                 if dead_id not in owners:
                     continue
                 if all(copy_dead(owner) for owner in owners):
@@ -458,9 +568,13 @@ class SoftStateStore:
             own = self.registry.get(querier_id)
             if own is None:
                 raise KeyError(f"querier {querier_id} has no registered identity")
-            query_vector = own.landmark_vector
-        query_vector = np.asarray(query_vector, dtype=np.float64)
-        query_number = self.space.number(query_vector)
+            query_vector = np.asarray(own.landmark_vector, dtype=np.float64)
+            # the landmark number is cached on the registered identity --
+            # a pure function of the vector and the space
+            query_number = own.landmark_number
+        else:
+            query_vector = np.asarray(query_vector, dtype=np.float64)
+            query_number = self.space.number(query_vector)
 
         position = map_position(
             query_number, self.space.total_bits, region, self.condense_rate
@@ -472,12 +586,33 @@ class SoftStateStore:
             served_by = self.ecan.can.owner_of_point(position)
 
         bucket = self.maps.get(region, {})
-        hosted_by: dict = {}
-        for node_id, stored in bucket.items():
-            owner = self.ecan.can.owner_of_point(stored.position)
-            hosted_by.setdefault(owner, []).append(stored.record)
+        if self.use_owner_index:
+            # zero owner walks and no bucket scan: the reverse index
+            # yields exactly the asked-for node's records, in bucket
+            # insertion order (seq), at cost proportional to what that
+            # node hosts rather than to the region's map size
+            def hosted(owner: int) -> list:
+                by_region = self._attributed.get(owner)
+                shard = None if by_region is None else by_region.get(region)
+                if not shard:
+                    return []
+                found = [
+                    stored
+                    for nid in shard
+                    if (stored := bucket.get(nid)) is not None
+                ]
+                found.sort(key=lambda s: s.seq)
+                return [s.record for s in found]
+        else:
+            hosted_by: dict = {}
+            for node_id, stored in bucket.items():
+                owner = self.ecan.can.owner_of_point(stored.position)
+                hosted_by.setdefault(owner, []).append(stored.record)
 
-        collected = list(hosted_by.get(served_by, ()))
+            def hosted(owner: int) -> list:
+                return hosted_by.get(owner, ())
+
+        collected = list(hosted(served_by))
         widened = 0
         if not collected:
             # widen within the region, ring by ring over CAN neighbors
@@ -510,12 +645,12 @@ class SoftStateStore:
                         next_frontier.append(neighbor_id)
                         if charge:
                             self.network.stats.count("softstate_lookup")
-                        collected.extend(hosted_by.get(neighbor_id, ()))
+                        collected.extend(hosted(neighbor_id))
                 frontier = next_frontier
 
         collected = [r for r in collected if r.node_id != querier_id]
         if collected:
-            vectors = np.array([r.landmark_vector for r in collected])
+            vectors = np.array([r.vector() for r in collected])
             order = np.argsort(np.linalg.norm(vectors - query_vector, axis=1), kind="stable")
             collected = [collected[i] for i in order[:max_results]]
         return LookupResult(records=collected, served_by=served_by, widened=widened)
@@ -526,10 +661,45 @@ class SoftStateStore:
         """Map entries hosted per overlay node (Figure 16's dashed line)."""
         counts: dict = {}
         for region, bucket in self.maps.items():
-            for stored in bucket.values():
-                owner = self.ecan.can.owner_of_point(stored.position)
+            for node_id in bucket:
+                owner = self.record_owner(region, node_id)
                 counts[owner] = counts.get(owner, 0) + 1
         return counts
+
+    def check_owner_index(self) -> None:
+        """AssertionError unless the incremental index matches brute force.
+
+        Cross-checks every indexed attribution against a fresh
+        ``owner_of_point`` walk over the live tessellation; run from the
+        stack-wide :func:`repro.core.recovery.check_invariants`.
+        """
+        if not self.use_owner_index:
+            return
+        owner_of = self.ecan.can._resolve_owner
+        for region, bucket in self.maps.items():
+            owners = self._owners.get(region, {})
+            assert set(owners) == set(bucket), (
+                f"owner index of {region} tracks {sorted(owners)} "
+                f"but the map holds {sorted(bucket)}"
+            )
+            for node_id, stored in bucket.items():
+                expected = owner_of(stored.position)
+                assert owners[node_id] == expected, (
+                    f"owner index of {region} attributes record {node_id} "
+                    f"to {owners[node_id]}, brute force says {expected}"
+                )
+                assert node_id in self._attributed.get(expected, {}).get(region, ()), (
+                    f"reverse index misses ({region}, {node_id}) under {expected}"
+                )
+        total = sum(len(b) for b in self.maps.values())
+        reverse = sum(
+            len(shard)
+            for by_region in self._attributed.values()
+            for shard in by_region.values()
+        )
+        assert reverse == total, (
+            f"reverse index holds {reverse} attributions, maps hold {total}"
+        )
 
     def total_entries(self) -> int:
         return sum(len(bucket) for bucket in self.maps.values())

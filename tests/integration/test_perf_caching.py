@@ -1,0 +1,81 @@
+"""Caching must not change charged behavior.
+
+The hot-path work (owner index, point-owner memo, landmark/Hilbert
+memos, oracle row cache) is all *local* bookkeeping: the messages a
+run charges, the routes it takes and the numbers an experiment
+reports must be bit-identical with the caches disabled.  These tests
+pin that contract with the two kill-switches
+(``Can.owner_cache_enabled`` and ``SoftStateStore.use_owner_index``)
+as the brute-force oracle.
+"""
+
+import numpy as np
+
+from repro.core import OverlayParams, TopologyAwareOverlay
+from repro.netsim import ManualLatencyModel, Network
+
+N = 256
+SEED = 11
+
+
+def build_overlay(topology, caches: bool) -> TopologyAwareOverlay:
+    network = Network(topology, ManualLatencyModel())
+    overlay = TopologyAwareOverlay(
+        network, OverlayParams(num_nodes=N, landmarks=8, seed=SEED)
+    )
+    if not caches:
+        overlay.ecan.can.owner_cache_enabled = False
+        overlay.store.use_owner_index = False
+    overlay.build(N)
+    return overlay
+
+
+class TestCachedEqualsUncached:
+    def test_build_and_stretch_are_bit_identical(self, small_topology):
+        cached = build_overlay(small_topology, caches=True)
+        uncached = build_overlay(small_topology, caches=False)
+
+        # same seed, same messages: every charged category, same count
+        assert (
+            cached.network.stats.snapshot() == uncached.network.stats.snapshot()
+        )
+
+        # the same route is taken between every sampled pair
+        rng = np.random.default_rng(SEED)
+        ids = cached.node_ids
+        assert ids == uncached.node_ids
+        for _ in range(40):
+            src, dst = rng.choice(ids, size=2, replace=False)
+            a, stretch_a = cached.route_between(int(src), int(dst))
+            b, stretch_b = uncached.route_between(int(src), int(dst))
+            assert a.path == b.path
+            assert stretch_a == stretch_b
+
+        # experiment output: the full stretch series, value for value
+        stretch_cached = cached.measure_stretch(2 * N)
+        stretch_uncached = uncached.measure_stretch(2 * N)
+        assert np.array_equal(stretch_cached, stretch_uncached)
+
+        # and the routing above charged both overlays identically too
+        assert (
+            cached.network.stats.snapshot() == uncached.network.stats.snapshot()
+        )
+
+    def test_lookup_results_match_brute_force(self, small_topology):
+        from repro.softstate.maps import Region
+
+        cached = build_overlay(small_topology, caches=True)
+        uncached = build_overlay(small_topology, caches=False)
+        dims = cached.ecan.can.dims
+        cells = [
+            tuple((index >> d) & 1 for d in range(dims))
+            for index in range(1 << dims)
+        ]
+        for i, querier in enumerate(cached.node_ids[:24]):
+            region = Region(1, cells[i % len(cells)])
+            a = cached.store.lookup(querier, region)
+            b = uncached.store.lookup(querier, region)
+            assert [r.node_id for r in a.records] == [
+                r.node_id for r in b.records
+            ]
+            assert a.served_by == b.served_by

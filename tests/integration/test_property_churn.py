@@ -59,10 +59,11 @@ class TestEcanChurnProperty:
         )
         if len(ecan):
             ecan.can.check_invariants()
-            # membership index holds only live nodes
+            # membership index holds only live nodes, kept sorted
             for buckets in ecan._members.values():
                 for node_ids in buckets.values():
-                    assert node_ids <= set(ecan.nodes)
+                    assert list(node_ids) == sorted(set(node_ids))
+                    assert set(node_ids) <= set(ecan.nodes)
 
 
 class TestChordChurnProperty:
