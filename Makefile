@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -30,8 +30,16 @@ bench-smoke:
 	REPRO_SCALE=quick $(PYTHON) -m pytest \
 		benchmarks/bench_fig05_hybrid_small.py \
 		benchmarks/bench_ext_fault_injection.py \
-		benchmarks/bench_perf_scale.py -q --benchmark-disable
+		benchmarks/bench_perf_scale.py \
+		benchmarks/bench_perf_runtime.py -q --benchmark-disable
 	$(PYTHON) scripts/bench_report.py
+
+# The live-runtime acceptance scenario: boot a 64-node cluster over
+# the loopback transport (joins travel as wire frames), drive 1000
+# open-loop lookups, and assert bit-identical owners/endpoints against
+# an independently built synchronous simulator.
+runtime-smoke:
+	$(PYTHON) scripts/runtime_smoke.py
 
 # The recovery acceptance scenario: 20% simultaneous crash + one
 # transit partition window under probe loss; asserts the stack-wide
@@ -44,12 +52,14 @@ chaos-smoke:
 # What the GitHub workflow runs: the full test suite plus quick-scale
 # smoke runs of the resilience benches (timing disabled -- the assertions
 # on success rate / false purges are the point), the chaos recovery
-# scenario, and the bench-smoke JSON trajectory check.
+# scenario, the live-runtime parity smoke, and the bench-smoke JSON
+# trajectory check.
 ci:
 	$(PYTHON) -m pytest tests/ -q
 	$(PYTHON) -m pytest benchmarks/bench_ext_failure_resilience.py \
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
 	$(MAKE) chaos-smoke
+	$(MAKE) runtime-smoke
 	$(MAKE) bench-smoke
 	$(PYTHON) scripts/bench_report.py --check
 

@@ -1,0 +1,104 @@
+"""Live-runtime benchmark: boot, open-loop latency, and sim parity.
+
+Not a paper figure -- this records the performance trajectory of the
+asyncio runtime (``src/repro/runtime/``) in BENCH_ext.json: cluster
+boot wall time (topology-aware joins over the wire), open-loop lookup
+latency percentiles and achieved throughput from the load driver, and
+the parity verdict against the synchronous simulator.  One cell per
+(transport, size): loopback at two sizes plus real TCP sockets at 16
+nodes.
+
+Correctness columns (``ops``, ``errors``, ``parity_checked``,
+``parity_mismatches``) are deterministic per seed; every timing lives
+under a ``wall``-prefixed key so same-seed records stay byte-identical
+modulo wall time (``bench_report.strip_wall``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from _common import emit
+from repro.core.config import NetworkParams, OverlayParams
+from repro.experiments import format_table
+from repro.runtime import Cluster, ClusterConfig, run_load
+
+#: (transport, nodes) cells; TCP stays small -- real sockets per node
+CELLS = (("loopback", 16), ("loopback", 64), ("tcp", 16))
+
+LOOKUPS = 256
+RATE = 2000.0
+PARITY_LOOKUPS = 64
+PARITY_ROUTES = 32
+
+
+async def drive_cell(transport: str, nodes: int, seed: int = 0) -> dict:
+    config = ClusterConfig(
+        nodes=nodes,
+        network=NetworkParams(topo_scale=0.25, seed=seed),
+        overlay=OverlayParams(num_nodes=nodes, seed=seed),
+        transport=transport,
+    )
+    cluster = Cluster(config)
+    t0 = time.perf_counter()
+    await cluster.start()
+    boot_s = time.perf_counter() - t0
+    try:
+        report = await run_load(cluster, rate=RATE, count=LOOKUPS, seed=seed)
+        verdict = await cluster.verify_against_sim(
+            lookups=PARITY_LOOKUPS, routes=PARITY_ROUTES, seed=seed
+        )
+    finally:
+        await cluster.stop()
+    pct = report.percentiles()
+    return {
+        "transport": transport,
+        "nodes": nodes,
+        "ops": report.ops,
+        "errors": report.errors,
+        "parity_checked": verdict["checked"],
+        "parity_mismatches": verdict["mismatches"],
+        "wall_boot_s": boot_s,
+        "wall_p50_ms": pct["p50"],
+        "wall_p95_ms": pct["p95"],
+        "wall_p99_ms": pct["p99"],
+        "wall_throughput_ops": report.achieved_rate,
+    }
+
+
+def bench_perf_runtime(benchmark):
+    rows = [
+        asyncio.run(drive_cell(transport, nodes))
+        for transport, nodes in CELLS
+    ]
+    emit(
+        "ext_perf_runtime",
+        "Live runtime: boot, open-loop lookup latency, sim parity",
+        format_table(rows),
+        rows=rows,
+        params={
+            "cells": [list(cell) for cell in CELLS],
+            "lookups": LOOKUPS,
+            "rate": RATE,
+            "parity_lookups": PARITY_LOOKUPS,
+            "parity_routes": PARITY_ROUTES,
+            "topo_scale": 0.25,
+        },
+    )
+
+    # the timed unit: boot + a short lookup burst on a small cluster
+    async def unit():
+        config = ClusterConfig(
+            nodes=8,
+            network=NetworkParams(topo_scale=0.25, seed=0),
+            overlay=OverlayParams(num_nodes=8, seed=0),
+        )
+        async with Cluster(config) as cluster:
+            await run_load(cluster, rate=RATE, count=32, seed=0)
+
+    benchmark(lambda: asyncio.run(unit()))
+
+    assert all(row["errors"] == 0 for row in rows), rows
+    assert all(row["parity_mismatches"] == 0 for row in rows), rows
+    assert all(row["ops"] == LOOKUPS for row in rows)

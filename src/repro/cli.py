@@ -138,6 +138,53 @@ def cmd_quickstart(_args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Boot a live cluster, drive lookups, print latency + parity."""
+    import asyncio
+
+    from repro.core.config import NetworkParams, OverlayParams
+    from repro.runtime import Cluster, ClusterConfig, run_load
+
+    config = ClusterConfig(
+        nodes=args.nodes,
+        network=NetworkParams(topo_scale=args.topo_scale, seed=args.seed),
+        overlay=OverlayParams(num_nodes=args.nodes, seed=args.seed),
+        transport=args.transport,
+        latency_scale=args.latency_scale,
+    )
+
+    async def drive():
+        cluster = Cluster(config)
+        await cluster.start()
+        try:
+            report = await run_load(
+                cluster, rate=args.rate, count=args.lookups, seed=args.seed
+            )
+            verdict = await cluster.verify_against_sim(
+                lookups=min(args.lookups, 128), routes=32, seed=args.seed
+            )
+        finally:
+            await cluster.stop()
+        return report, verdict
+
+    report, verdict = asyncio.run(drive())
+    pct = report.percentiles()
+    print(
+        f"cluster: {args.nodes} nodes over {args.transport}, "
+        f"{report.ops} lookups at {args.rate:.0f}/s"
+    )
+    print(
+        f"latency: p50 {pct['p50']:.3f} ms | p99 {pct['p99']:.3f} ms | "
+        f"throughput {report.achieved_rate:.0f} ops/s | errors {report.errors}"
+    )
+    status = "ok" if verdict["ok"] else "MISMATCH"
+    print(
+        f"verify-against-sim: {status} "
+        f"({verdict['mismatches']}/{verdict['checked']} mismatches)"
+    )
+    return 0 if verdict["ok"] and report.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -168,6 +215,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="functions shown per profile (default 25, by cumulative time)",
     )
     run.set_defaults(func=cmd_run)
+    cluster = sub.add_parser(
+        "cluster",
+        help="boot a live asyncio cluster, run lookups, report latency",
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=64, help="overlay members to boot (default 64)"
+    )
+    cluster.add_argument(
+        "--lookups", type=int, default=1000, help="lookups to drive (default 1000)"
+    )
+    cluster.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="open-loop arrival rate, lookups/second (default 2000)",
+    )
+    cluster.add_argument(
+        "--transport",
+        choices=["loopback", "tcp"],
+        default="loopback",
+        help="wire transport (default loopback)",
+    )
+    cluster.add_argument(
+        "--latency-scale",
+        type=float,
+        default=0.0,
+        help="wall seconds per simulated ms of one-way latency (default 0)",
+    )
+    cluster.add_argument(
+        "--topo-scale",
+        type=float,
+        default=0.25,
+        help="transit-stub topology scale (default 0.25)",
+    )
+    cluster.add_argument("--seed", type=int, default=0, help="workload/overlay seed")
+    cluster.set_defaults(func=cmd_cluster)
     sub.add_parser("report", help="rewrite EXPERIMENTS.md from benchmarks/out")\
         .set_defaults(func=cmd_report)
     sub.add_parser("quickstart", help="build one overlay and print its stretch")\

@@ -51,9 +51,17 @@ def load_topology(path) -> Topology:
     path = pathlib.Path(path)
     with np.load(path) as data:
         header = json.loads(bytes(data["header"]).decode())
-        if header.get("format_version") != FORMAT_VERSION:
+        version = header.get("format_version")
+        if not isinstance(version, int) or isinstance(version, bool) or version < 1:
             raise ValueError(
-                f"unsupported topology format {header.get('format_version')!r}"
+                f"unrecognised topology format_version {version!r} "
+                f"(this build writes version {FORMAT_VERSION})"
+            )
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"topology file declares format_version {version}, newer than "
+                f"the newest supported version {FORMAT_VERSION}; upgrade repro "
+                f"to read it"
             )
         config = TransitStubConfig(**header["config"])
         return Topology(

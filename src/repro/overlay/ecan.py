@@ -399,6 +399,47 @@ class EcanOverlay:
         else:
             self._entry_failures[key] = failures
 
+    def next_hop(self, node_id: int, point, visited=frozenset()) -> tuple:
+        """One perfect-network forwarding decision from ``node_id``.
+
+        Returns ``(next_id, kind)``: ``(None, "delivered")`` when the
+        point lies in the node's own zone, ``(id, "expressway")`` for a
+        high-order jump, ``(id, "can")`` for a greedy CAN hop, or
+        ``(None, "stuck")`` when every neighbor was already visited.
+        Mirrors the fault-free branch of :meth:`route` exactly -- the
+        live runtime (:mod:`repro.runtime`) forwards one wire frame
+        per decision, and the resulting hop sequence matches what the
+        synchronous simulator would produce for the same tessellation.
+        """
+        nodes = self.can.nodes
+        current = nodes[node_id]
+        if current.contains(point):
+            return None, "delivered"
+        zcells = current.zone.cells()
+        diff_level = None
+        target_cell = None
+        for level in range(1, len(zcells)):
+            cell = point_cell(point, level)
+            if zcells[level] != cell:
+                diff_level = level
+                target_cell = cell
+                break
+        if diff_level is not None:
+            entry, _ = self.table_entry(node_id, diff_level, target_cell)
+            if entry is not None and entry not in visited:
+                return entry, "expressway"
+        best = min(
+            (
+                (nodes[n].distance_to_point(point, self.can.torus), n)
+                for n in current.neighbors
+                if n not in visited
+            ),
+            default=None,
+        )
+        if best is None:
+            return None, "stuck"
+        return best[1], "can"
+
     def route(
         self,
         start_node: int,

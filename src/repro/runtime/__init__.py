@@ -1,0 +1,58 @@
+"""Live asyncio execution layer.
+
+Everything below :mod:`repro.core` runs under a single-threaded
+simulated clock; this package runs the same overlay stack *live*:
+each member is an independent async actor behind a mailbox
+(:class:`~repro.runtime.node.NodeProcess`), actors exchange a
+versioned, length-prefixed binary wire protocol
+(:mod:`repro.runtime.wire`) over a pluggable transport
+(:mod:`repro.runtime.transport` -- in-process loopback or real TCP),
+and a :class:`~repro.runtime.cluster.Cluster` harness boots N nodes,
+performs topology-aware joins over the wire and serves async
+``route`` / ``publish`` / ``lookup`` RPCs.  The open-loop load driver
+(:mod:`repro.runtime.loadgen`) replays generated workloads at a
+configured arrival rate and reports latency percentiles.
+
+Live runs are cross-validated against the synchronous simulator: the
+same (config, seed) must produce identical lookup owners and route
+endpoints (:meth:`Cluster.verify_against_sim`).
+"""
+
+from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.loadgen import LoadReport, latency_percentiles, run_load
+from repro.runtime.node import NodeProcess
+from repro.runtime.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportError,
+    make_transport,
+)
+from repro.runtime.wire import (
+    Frame,
+    FrameDecoder,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "Frame",
+    "FrameDecoder",
+    "LoadReport",
+    "LoopbackTransport",
+    "MsgType",
+    "NodeProcess",
+    "ProtocolError",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "decode_frame",
+    "encode_frame",
+    "latency_percentiles",
+    "make_transport",
+    "run_load",
+]

@@ -1,0 +1,256 @@
+"""The live cluster harness: boot N actors, join over the wire, serve RPCs.
+
+:class:`Cluster` owns one simulated physical :class:`Network` (the
+latency ground truth and telemetry sink), one
+:class:`TopologyAwareOverlay` (the Can/eCAN + soft-state stack the
+actors wrap), a pluggable transport, and one
+:class:`~repro.runtime.node.NodeProcess` per member.  Booting
+replays the simulator's build loop *over the wire*: the first node is
+seeded locally, every later member starts as an anonymous joiner
+actor that sends a JOIN frame to the bootstrap node, whose actor
+admits it (landmark measurement, CAN join, soft-state publication,
+policy-driven neighbor selection -- the full topology-aware join) and
+ACKs back the assigned node id and physical host.  Joins are awaited
+sequentially, so membership, zones and tables are a pure function of
+(config, seed) -- byte-identical to a synchronous
+``TopologyAwareOverlay.build`` with the same parameters, which is
+exactly what :meth:`verify_against_sim` checks.
+
+RPCs (``route``, ``lookup``, ``lookup_map``, ``publish``, ``ping``)
+run hop-by-hop over the transport; with latency shaping enabled the
+end-to-end wall latency reproduces the transit-stub RTT matrix at the
+configured time dilation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.builder import TopologyAwareOverlay
+from repro.core.config import NetworkParams, OverlayParams, make_network
+from repro.runtime.node import NodeProcess
+from repro.runtime.transport import make_transport
+from repro.runtime.wire import MsgType
+
+
+@dataclass
+class ClusterConfig:
+    """Everything a live cluster needs to boot deterministically."""
+
+    nodes: int = 16
+    network: NetworkParams = field(default_factory=NetworkParams)
+    overlay: OverlayParams = field(default_factory=OverlayParams)
+    #: "loopback" or "tcp"
+    transport: str = "loopback"
+    #: wall seconds per simulated ms of one-way latency (0 = no shaping)
+    latency_scale: float = 0.0
+    #: optional :class:`~repro.netsim.faults.FaultPlan` applied at the
+    #: transport (drop/partition decisions per frame)
+    fault_plan: object = None
+    fault_seed: int = 0
+    request_timeout: float = 30.0
+    max_hops: int = 512
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        if self.overlay.num_nodes != self.nodes:
+            from dataclasses import replace
+
+            self.overlay = replace(self.overlay, num_nodes=self.nodes)
+
+
+class Cluster:
+    """N live overlay-node actors over one wire transport."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.network = make_network(config.network)
+        self.overlay = TopologyAwareOverlay(self.network, config.overlay)
+        faults = None
+        if config.fault_plan is not None:
+            # transport-level faults reuse the simulator's plans but run
+            # on a *detached* injector: frames drop deterministically
+            # while the overlay stack itself stays on the perfect path
+            from repro.netsim.faults import FaultInjector
+
+            faults = FaultInjector(
+                self.network, config.fault_plan, seed=config.fault_seed
+            )
+            faults.armed = True
+        self.transport = make_transport(
+            config.transport,
+            oracle=self.network.oracle,
+            latency_scale=config.latency_scale,
+            faults=faults,
+        )
+        #: node id -> NodeProcess, in join order
+        self.actors: dict = {}
+        self._started = False
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def node_ids(self) -> list:
+        return list(self.actors)
+
+    def __len__(self) -> int:
+        return len(self.actors)
+
+    @property
+    def bootstrap(self) -> NodeProcess:
+        return next(iter(self.actors.values()))
+
+    def admit(self, capacity: float = 1.0) -> tuple:
+        """Perform one topology-aware join (bootstrap-actor duty).
+
+        Same call sequence as the simulator's build loop, so the k-th
+        admission consumes exactly the k-th draw of every builder RNG
+        stream.  Returns ``(node_id, host)``.
+        """
+        node_id = self.overlay.add_node(capacity=capacity)
+        host = self.overlay.ecan.can.nodes[node_id].host
+        self.network.telemetry.bump("runtime_join")
+        return node_id, int(host)
+
+    async def start(self) -> "Cluster":
+        """Boot the cluster: seed the first node, join the rest over the wire."""
+        if self._started:
+            return self
+        self._started = True
+        await self.transport.start()
+        with self.network.telemetry.phase("runtime_boot"):
+            node_id, host = self.admit()
+            seed_actor = NodeProcess(self, node_id, host=host)
+            await seed_actor.start()
+            self.actors[node_id] = seed_actor
+            for k in range(1, self.config.nodes):
+                joiner = NodeProcess(self, f"joiner:{k}")
+                await joiner.start()
+                ack = await joiner.request(self.bootstrap.addr, MsgType.JOIN, {})
+                await joiner.rebind(int(ack["node_id"]), host=int(ack["host"]))
+                self.actors[joiner.addr] = joiner
+        return self
+
+    async def stop(self) -> None:
+        for actor in list(self.actors.values()):
+            await actor.stop()
+        self.actors.clear()
+        await self.transport.close()
+        self._started = False
+
+    async def __aenter__(self) -> "Cluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _actor(self, node_id: int) -> NodeProcess:
+        actor = self.actors.get(node_id)
+        if actor is None:
+            raise KeyError(f"node {node_id} is not a cluster member")
+        return actor
+
+    # -- RPCs --------------------------------------------------------------
+
+    async def lookup(self, src_id: int, point) -> dict:
+        """Key lookup: route ``point`` from ``src_id`` to its owner.
+
+        Returns ``{"owner", "path", "hops"}`` from the final ACK.
+        """
+        result = await self._actor(src_id).rpc_route(point, op="lookup")
+        self.network.telemetry.bump("runtime_lookup")
+        return result
+
+    async def route(self, src_id: int, dst_id: int) -> dict:
+        """Route from ``src_id`` to member ``dst_id``'s zone center."""
+        dst = self.overlay.ecan.can.nodes[dst_id]
+        result = await self._actor(src_id).rpc_route(dst.zone.center(), op="route")
+        self.network.telemetry.bump("runtime_route")
+        return result
+
+    async def lookup_map(self, querier_id: int, region) -> dict:
+        """Soft-state map read: route to the serving node, read its shard."""
+        store = self.overlay.store
+        record = store.registry[querier_id]
+        position = store.position_of(record, region)
+        actor = self._actor(querier_id)
+        ack = await actor.request(
+            actor.addr,
+            MsgType.ROUTE,
+            {
+                "point": [float(x) for x in position],
+                "path": [actor.addr],
+                "op": "lookup",
+                "querier": querier_id,
+                "level": region.level,
+                "cell": list(region.cell),
+            },
+        )
+        self.network.telemetry.bump("runtime_map_lookup")
+        return ack
+
+    async def publish(self, node_id: int) -> dict:
+        """Ask ``node_id``'s actor to (re)publish its soft-state record."""
+        actor = self._actor(node_id)
+        return await actor.request(actor.addr, MsgType.PUBLISH, {})
+
+    async def ping(self, src_id: int, dst_id: int, seq: int = 0) -> dict:
+        """One heartbeat round-trip between two members."""
+        return await self._actor(src_id).request(
+            dst_id, MsgType.HEARTBEAT, {"seq": seq}
+        )
+
+    # -- sim parity --------------------------------------------------------
+
+    def build_reference_sim(self) -> TopologyAwareOverlay:
+        """A fresh synchronous overlay from this cluster's (config, seed)."""
+        network = make_network(self.config.network)
+        sim = TopologyAwareOverlay(network, self.config.overlay)
+        sim.build(self.config.nodes)
+        return sim
+
+    async def verify_against_sim(
+        self, lookups: int = 256, routes: int = 64, seed: int = 0xC0FFEE, sim=None
+    ) -> dict:
+        """Cross-validate the live cluster against the synchronous simulator.
+
+        Builds an *independent* sim overlay with the same (config,
+        seed), replays a seeded workload on both sides, and compares
+        lookup owners and route endpoints.  Returns a summary dict;
+        ``ok`` is True only if every comparison matched bit-for-bit.
+        """
+        if sim is None:
+            sim = self.build_reference_sim()
+        rng = np.random.default_rng(seed)
+        ids = np.array(self.node_ids)
+        dims = self.overlay.ecan.dims
+        mismatches = 0
+        for i in range(lookups):
+            src = int(ids[int(rng.integers(0, len(ids)))])
+            point = tuple(float(x) for x in rng.random(dims))
+            live = await self.lookup(src, point)
+            sim_result = sim.ecan.route(src, point, category="parity_check")
+            if not sim_result.success or live["owner"] != sim_result.owner:
+                mismatches += 1
+        for i in range(routes):
+            src, dst = (int(x) for x in rng.choice(ids, size=2, replace=False))
+            live = await self.route(src, dst)
+            sim_dst = sim.ecan.can.nodes[dst]
+            sim_result = sim.ecan.route(
+                src, sim_dst.zone.center(), category="parity_check"
+            )
+            endpoint = sim_result.path[-1] if sim_result.success else None
+            if live["path"][-1] != endpoint or live["owner"] != endpoint:
+                mismatches += 1
+        checked = lookups + routes
+        return {
+            "checked": checked,
+            "lookups": lookups,
+            "routes": routes,
+            "mismatches": mismatches,
+            "ok": mismatches == 0,
+        }

@@ -1,0 +1,145 @@
+"""Open-loop load driver for live clusters.
+
+Replays :mod:`repro.workloads.generator` traffic against a running
+:class:`~repro.runtime.cluster.Cluster` at a configured Poisson
+arrival rate.  *Open-loop* means each request fires at its scheduled
+arrival time regardless of whether earlier requests finished -- the
+model that exposes queueing collapse, unlike closed-loop drivers
+whose offered load self-throttles.
+
+The driver records per-request wall latency, latency percentiles
+(p50/p95/p99), achieved throughput and error counts.  Deterministic
+facts (operations, errors, per-op owners) go into the network's
+telemetry counters; wall-clock durations are reported under
+``wall``-prefixed keys only, matching the bench layer's determinism
+contract (see ``benchmarks/_common``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.generator import poisson_arrivals, uniform_points
+
+
+def latency_percentiles(latencies_ms) -> dict:
+    """p50/p95/p99 of a latency sample (ms); NaN when empty."""
+    if len(latencies_ms) == 0:
+        return {"p50": float("nan"), "p95": float("nan"), "p99": float("nan")}
+    array = np.asarray(latencies_ms, dtype=np.float64)
+    p50, p95, p99 = np.percentile(array, [50.0, 95.0, 99.0])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run."""
+
+    ops: int
+    errors: int
+    #: per-request wall latency, ms, in completion order
+    latencies_ms: list = field(default_factory=list)
+    #: offered arrival rate (requests/second)
+    offered_rate: float = 0.0
+    #: wall seconds from first arrival to last completion
+    wall_duration_s: float = 0.0
+
+    @property
+    def succeeded(self) -> int:
+        return self.ops - self.errors
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per wall second."""
+        if self.wall_duration_s <= 0.0:
+            return 0.0
+        return self.succeeded / self.wall_duration_s
+
+    def percentiles(self) -> dict:
+        return latency_percentiles(self.latencies_ms)
+
+    def summary(self) -> dict:
+        """Flat report; wall-derived numbers under ``wall*`` keys only."""
+        pct = self.percentiles()
+        return {
+            "ops": self.ops,
+            "errors": self.errors,
+            "offered_rate": self.offered_rate,
+            "wall_duration_s": self.wall_duration_s,
+            "wall_throughput_ops": self.achieved_rate,
+            "wall_p50_ms": pct["p50"],
+            "wall_p95_ms": pct["p95"],
+            "wall_p99_ms": pct["p99"],
+        }
+
+
+async def run_load(
+    cluster,
+    rate: float,
+    count: int,
+    seed: int = 0,
+    op: str = "lookup",
+) -> LoadReport:
+    """Drive ``count`` requests at ``rate``/s against ``cluster``.
+
+    ``op`` selects the request mix: ``"lookup"`` routes uniform keys
+    from random members to their owners; ``"route"`` routes between
+    random member pairs.  The workload is a pure function of ``seed``,
+    so the same run can be replayed on the synchronous simulator for
+    parity checks.
+    """
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrivals(rate, count, rng)
+    ids = np.array(cluster.node_ids)
+    dims = cluster.overlay.ecan.dims
+    if op == "lookup":
+        sources = rng.choice(ids, size=count)
+        points = uniform_points(count, dims, rng)
+        requests = [
+            (int(sources[i]), tuple(float(x) for x in points[i]))
+            for i in range(count)
+        ]
+    elif op == "route":
+        requests = [
+            tuple(int(x) for x in rng.choice(ids, size=2, replace=False))
+            for _ in range(count)
+        ]
+    else:
+        raise ValueError(f"unknown op {op!r} (want 'lookup' or 'route')")
+
+    loop = asyncio.get_running_loop()
+    start_time = loop.time()
+    report = LoadReport(ops=count, errors=0, offered_rate=float(rate))
+
+    async def fire(index: int) -> None:
+        delay = start_time + float(arrivals[index]) - loop.time()
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        began = time.perf_counter()
+        try:
+            if op == "lookup":
+                source, point = requests[index]
+                await cluster.lookup(source, point)
+            else:
+                source, dest = requests[index]
+                await cluster.route(source, dest)
+        except Exception:
+            report.errors += 1
+        finally:
+            report.latencies_ms.append((time.perf_counter() - began) * 1000.0)
+
+    wall_began = time.perf_counter()
+    await asyncio.gather(*(fire(i) for i in range(count)))
+    report.wall_duration_s = time.perf_counter() - wall_began
+
+    telemetry = cluster.network.telemetry
+    telemetry.count("loadgen_ops", report.ops)
+    telemetry.count("loadgen_errors", report.errors)
+    pct = report.percentiles()
+    if np.isfinite(pct["p99"]):
+        telemetry.gauge("loadgen_wall_p99_ms", pct["p99"])
+    return report

@@ -1,0 +1,246 @@
+"""One overlay member as an async actor behind a mailbox.
+
+A :class:`NodeProcess` owns an address on the transport, a FIFO
+mailbox, and (once joined) an overlay node id.  Its run loop drains
+the mailbox one frame at a time, so all overlay-state access from a
+node is serialized -- the actor model's usual guarantee.  Responses
+(ACK / ERROR) bypass the mailbox and resolve the pending request
+future directly: a node awaiting a reply never deadlocks behind its
+own queue.
+
+Routing is hop-by-hop over the wire: each actor makes exactly one
+forwarding decision (:meth:`EcanOverlay.next_hop`, the fault-free
+branch of the simulator's ``route``) and sends the ROUTE frame to the
+chosen peer; the final owner replies straight to the origin.  The
+wire therefore carries the same hop sequence the synchronous
+simulator would produce for the same tessellation, which is what the
+cluster's sim-parity check relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.runtime.transport import TransportError
+from repro.runtime.wire import Frame, MsgType
+
+
+class RemoteError(Exception):
+    """A peer answered with an ERROR frame."""
+
+
+class RequestTimeout(Exception):
+    """No reply arrived within the request deadline."""
+
+
+class NodeProcess:
+    """An async overlay-node actor speaking the wire protocol."""
+
+    def __init__(self, cluster, addr, host: int = None):
+        self.cluster = cluster
+        #: transport address; a temporary string while joining, the
+        #: overlay node id (int) once a member
+        self.addr = addr
+        self.host = host
+        self.mailbox: asyncio.Queue = asyncio.Queue()
+        #: request_id -> Future awaiting an ACK/ERROR
+        self.pending: dict = {}
+        self._req_ids = itertools.count(1)
+        self._task = None
+        #: frames this actor processed, by kind name (diagnostics)
+        self.handled: dict = {}
+
+    @property
+    def node_id(self):
+        """Overlay node id (None until the join completes)."""
+        return self.addr if isinstance(self.addr, int) else None
+
+    @property
+    def transport(self):
+        return self.cluster.transport
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.transport.bind(self.addr, self.on_frame, host=self.host)
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        await self.transport.unbind(self.addr)
+        for future in self.pending.values():
+            if not future.done():
+                future.cancel()
+        self.pending.clear()
+
+    async def rebind(self, addr, host: int = None) -> None:
+        """Adopt a new address (temporary joiner -> member node id)."""
+        await self.transport.unbind(self.addr)
+        self.addr = addr
+        if host is not None:
+            self.host = host
+        await self.transport.bind(self.addr, self.on_frame, host=self.host)
+
+    # -- frame plumbing ----------------------------------------------------
+
+    async def on_frame(self, frame: Frame) -> None:
+        """Transport delivery callback."""
+        if frame.kind in (MsgType.ACK, MsgType.ERROR):
+            future = self.pending.pop(frame.request_id, None)
+            if future is not None and not future.done():
+                if frame.kind is MsgType.ERROR:
+                    future.set_exception(
+                        RemoteError(frame.payload.get("error", "remote error"))
+                    )
+                else:
+                    future.set_result(frame.payload)
+            return
+        await self.mailbox.put(frame)
+
+    async def _run(self) -> None:
+        while True:
+            frame = await self.mailbox.get()
+            name = frame.kind.name
+            self.handled[name] = self.handled.get(name, 0) + 1
+            try:
+                await self._dispatch(frame)
+            except Exception as exc:  # answer rather than kill the actor
+                src = frame.payload.get("src")
+                if src is not None:
+                    await self.transport.send(
+                        self.addr,
+                        src,
+                        frame.reply({"error": repr(exc)}, kind=MsgType.ERROR),
+                    )
+
+    async def request(self, dst, kind: MsgType, payload: dict, timeout=None) -> dict:
+        """Send one frame and await the correlated ACK payload."""
+        if timeout is None:
+            timeout = self.cluster.config.request_timeout
+        request_id = next(self._req_ids)
+        future = asyncio.get_running_loop().create_future()
+        self.pending[request_id] = future
+        frame = Frame(kind, request_id, {**payload, "src": self.addr})
+        sent = await self.transport.send(self.addr, dst, frame)
+        if not sent:
+            self.pending.pop(request_id, None)
+            raise TransportError(f"frame to {dst!r} was not sent")
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self.pending.pop(request_id, None)
+            raise RequestTimeout(
+                f"{kind.name} to {dst!r} unanswered after {timeout}s"
+            ) from None
+
+    # -- RPC entry points (called by the Cluster) --------------------------
+
+    async def rpc_route(self, point, op: str = "route", timeout=None) -> dict:
+        """Route ``point`` over the wire from this node; returns the ACK.
+
+        The first forwarding decision runs through the same machinery
+        as every later hop: the ROUTE frame is sent to *this* node's
+        own endpoint and dispatched from the mailbox.
+        """
+        return await self.request(
+            self.addr,
+            MsgType.ROUTE,
+            {"point": [float(x) for x in point], "path": [self.addr], "op": op},
+            timeout=timeout,
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, frame: Frame) -> None:
+        if frame.kind is MsgType.ROUTE:
+            await self._handle_route(frame)
+        elif frame.kind is MsgType.JOIN:
+            await self._handle_join(frame)
+        elif frame.kind is MsgType.PUBLISH:
+            await self._handle_publish(frame)
+        elif frame.kind is MsgType.LOOKUP:
+            await self._handle_lookup(frame)
+        elif frame.kind is MsgType.HEARTBEAT:
+            await self._reply(frame, {"seq": frame.payload.get("seq"), "from": self.addr})
+        else:  # pragma: no cover - on_frame filters ACK/ERROR already
+            raise ValueError(f"unroutable frame kind {frame.kind!r}")
+
+    async def _reply(self, frame: Frame, payload: dict, kind=None) -> None:
+        dst = frame.payload.get("src")
+        if dst is not None:
+            await self.transport.send(self.addr, dst, frame.reply(payload, kind=kind))
+
+    async def _handle_join(self, frame: Frame) -> None:
+        """Admit a newcomer (bootstrap-node duty)."""
+        node_id, host = self.cluster.admit(capacity=frame.payload.get("capacity", 1.0))
+        await self._reply(frame, {"node_id": node_id, "host": host})
+
+    async def _handle_publish(self, frame: Frame) -> None:
+        regions = self.cluster.overlay.store.publish(self.node_id)
+        await self._reply(frame, {"regions": regions, "node_id": self.node_id})
+
+    async def _handle_lookup(self, frame: Frame) -> None:
+        """Serve a soft-state map read from this node's shard."""
+        await self._reply(frame, await self._serve_map_read(frame.payload))
+
+    async def _handle_route(self, frame: Frame) -> None:
+        payload = frame.payload
+        point = tuple(payload["point"])
+        path = list(payload["path"])
+        overlay = self.cluster.overlay
+        next_id, kind = overlay.ecan.next_hop(
+            self.node_id, point, visited=frozenset(path)
+        )
+        if kind == "delivered":
+            result = {
+                "owner": self.node_id,
+                "path": path,
+                "hops": len(path) - 1,
+            }
+            if payload.get("op") == "lookup" and "level" in payload:
+                # map read at the serving node, fused into the delivery
+                lookup = await self._serve_map_read(payload)
+                result.update(lookup)
+            await self._reply(frame, result)
+            return
+        if next_id is None or len(path) > self.cluster.config.max_hops:
+            await self._reply(
+                frame,
+                {"error": f"route stuck after {len(path) - 1} hops", "path": path},
+                kind=MsgType.ERROR,
+            )
+            return
+        network = self.cluster.network
+        network.stats.count(f"runtime_{kind}_hop")
+        network.telemetry.bump("runtime_hop")
+        forwarded = Frame(
+            MsgType.ROUTE, frame.request_id, {**payload, "path": path + [next_id]}
+        )
+        sent = await self.transport.send(self.addr, next_id, forwarded)
+        if not sent:
+            await self._reply(
+                frame,
+                {"error": f"hop {self.addr}->{next_id} dropped", "path": path},
+                kind=MsgType.ERROR,
+            )
+
+    async def _serve_map_read(self, payload: dict) -> dict:
+        from repro.softstate.maps import Region
+
+        store = self.cluster.overlay.store
+        region = Region(
+            int(payload["level"]), tuple(int(c) for c in payload["cell"])
+        )
+        result = store.lookup(int(payload["querier"]), region, charge=False)
+        return {
+            "served_by": result.served_by,
+            "widened": result.widened,
+            "records": [record.node_id for record in result.records],
+        }

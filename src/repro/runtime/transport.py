@@ -1,0 +1,283 @@
+"""Pluggable live transports: one interface, loopback and real TCP.
+
+A transport moves wire frames between named endpoints (overlay node
+ids, plus short-lived string addresses during joins).  Both flavours
+share the same contract:
+
+* ``bind(addr, handler, host=...)`` registers an endpoint; ``handler``
+  is an async callable receiving each delivered :class:`Frame`;
+* ``send(src, dst, frame)`` is fire-and-forget: it returns once the
+  frame is *in flight* (True) or known undeliverable (False);
+* **latency shaping** -- when built with a
+  :class:`~repro.netsim.distance.DistanceOracle` and a
+  ``latency_scale``, each frame is delayed by the one-way latency
+  between the endpoints' physical hosts, so a live run reproduces the
+  transit-stub RTT matrix at any chosen time dilation;
+* **fault injection** -- an armed
+  :class:`~repro.netsim.faults.FaultInjector` decides per-frame
+  drops (message loss, partitions, crashed hosts) from the same
+  deterministic plans the simulator uses.
+
+:class:`LoopbackTransport` stays in-process (frames still round-trip
+through the binary codec, so the wire format is exercised on every
+test) and is deterministic and fast.  :class:`TcpTransport` runs one
+``asyncio.start_server`` per endpoint on localhost and speaks the
+length-prefixed protocol over real sockets; endpoints may live in
+different processes as long as they share the address book.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.runtime.wire import Frame, FrameDecoder, decode_frame, encode_frame
+
+
+class TransportError(Exception):
+    """An endpoint could not be reached (unbound, closed, refused)."""
+
+
+class Transport:
+    """Shared plumbing: endpoint registry, latency shaping, faults."""
+
+    #: short name used by :func:`make_transport` and reports
+    kind = "base"
+
+    def __init__(self, oracle=None, latency_scale: float = 0.0, faults=None):
+        #: :class:`DistanceOracle` driving per-frame delays (or None)
+        self.oracle = oracle
+        #: wall seconds of delay per simulated millisecond of one-way
+        #: latency; 0 disables shaping entirely
+        self.latency_scale = float(latency_scale)
+        #: armed :class:`FaultInjector` deciding drops (or None)
+        self.faults = faults
+        #: addr -> physical host id, for shaping and fault decisions
+        self.hosts: dict = {}
+        self.sent = 0
+        self.dropped = 0
+        self.delivered = 0
+        self._tasks: set = set()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Prepare shared machinery (no-op for both built-ins)."""
+
+    async def bind(self, addr, handler, host: int = None) -> None:
+        raise NotImplementedError
+
+    async def unbind(self, addr) -> None:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # -- shaping and faults ------------------------------------------------
+
+    def delay_for(self, src, dst) -> float:
+        """Wall seconds this frame spends 'on the wire'."""
+        if self.oracle is None or self.latency_scale <= 0.0:
+            return 0.0
+        src_host = self.hosts.get(src)
+        dst_host = self.hosts.get(dst)
+        if src_host is None or dst_host is None or src_host == dst_host:
+            return 0.0
+        return float(self.oracle.distance(src_host, dst_host)) * self.latency_scale
+
+    def drops(self, src, dst) -> bool:
+        """Would the armed fault plan drop this frame?"""
+        if self.faults is None or not self.faults.armed:
+            return False
+        src_host = self.hosts.get(src)
+        dst_host = self.hosts.get(dst)
+        if src_host is None or dst_host is None:
+            return False
+        return not self.faults.deliver(src_host, dst_host)
+
+    def _spawn(self, coroutine) -> None:
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def send(self, src, dst, frame: Frame) -> bool:
+        raise NotImplementedError
+
+
+class LoopbackTransport(Transport):
+    """In-process delivery through the codec: fast and deterministic."""
+
+    kind = "loopback"
+
+    def __init__(self, oracle=None, latency_scale: float = 0.0, faults=None):
+        super().__init__(oracle, latency_scale, faults)
+        self._handlers: dict = {}
+
+    async def bind(self, addr, handler, host: int = None) -> None:
+        if addr in self._handlers:
+            raise TransportError(f"address {addr!r} already bound")
+        self._handlers[addr] = handler
+        if host is not None:
+            self.hosts[addr] = int(host)
+
+    async def unbind(self, addr) -> None:
+        self._handlers.pop(addr, None)
+        self.hosts.pop(addr, None)
+
+    async def send(self, src, dst, frame: Frame) -> bool:
+        if self._closed:
+            raise TransportError("transport is closed")
+        self.sent += 1
+        # round-trip through the binary codec so loopback runs exercise
+        # exactly the bytes TCP would carry
+        frame = decode_frame(encode_frame(frame))
+        if self.drops(src, dst):
+            self.dropped += 1
+            return False
+        if dst not in self._handlers:
+            self.dropped += 1
+            return False
+        delay = self.delay_for(src, dst)
+        self._spawn(self._deliver(dst, frame, delay))
+        return True
+
+    async def _deliver(self, dst, frame: Frame, delay: float) -> None:
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        handler = self._handlers.get(dst)
+        if handler is None:  # unbound while the frame was in flight
+            self.dropped += 1
+            return
+        self.delivered += 1
+        await handler(frame)
+
+
+class TcpTransport(Transport):
+    """Real sockets: one localhost ``asyncio`` server per endpoint."""
+
+    kind = "tcp"
+
+    def __init__(
+        self,
+        oracle=None,
+        latency_scale: float = 0.0,
+        faults=None,
+        interface: str = "127.0.0.1",
+    ):
+        super().__init__(oracle, latency_scale, faults)
+        self.interface = interface
+        self._servers: dict = {}
+        #: address book: addr -> (interface, port)
+        self.endpoints: dict = {}
+        self._writers: dict = {}
+        self._writer_locks: dict = {}
+        self._readers: set = set()
+
+    async def bind(self, addr, handler, host: int = None) -> None:
+        if addr in self._servers:
+            raise TransportError(f"address {addr!r} already bound")
+        server = await asyncio.start_server(
+            lambda reader, writer: self._serve(handler, reader, writer),
+            self.interface,
+            0,
+        )
+        port = server.sockets[0].getsockname()[1]
+        self._servers[addr] = server
+        self.endpoints[addr] = (self.interface, port)
+        if host is not None:
+            self.hosts[addr] = int(host)
+
+    async def unbind(self, addr) -> None:
+        server = self._servers.pop(addr, None)
+        self.endpoints.pop(addr, None)
+        self.hosts.pop(addr, None)
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def _serve(self, handler, reader, writer) -> None:
+        """One accepted connection: reassemble frames, dispatch each."""
+        decoder = FrameDecoder()
+        self._readers.add(writer)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for frame in decoder.feed(chunk):
+                    self.delivered += 1
+                    await handler(frame)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            self._readers.discard(writer)
+            writer.close()
+
+    async def _writer_for(self, dst) -> asyncio.StreamWriter:
+        lock = self._writer_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is not None and not writer.is_closing():
+                return writer
+            endpoint = self.endpoints.get(dst)
+            if endpoint is None:
+                raise TransportError(f"no endpoint bound for {dst!r}")
+            try:
+                _, writer = await asyncio.open_connection(*endpoint)
+            except OSError as exc:
+                raise TransportError(f"connect to {dst!r} failed: {exc}") from exc
+            self._writers[dst] = writer
+            return writer
+
+    async def send(self, src, dst, frame: Frame) -> bool:
+        if self._closed:
+            raise TransportError("transport is closed")
+        self.sent += 1
+        if self.drops(src, dst):
+            self.dropped += 1
+            return False
+        if dst not in self.endpoints:
+            self.dropped += 1
+            return False
+        data = encode_frame(frame)
+        self._spawn(self._write(dst, data, self.delay_for(src, dst)))
+        return True
+
+    async def _write(self, dst, data: bytes, delay: float) -> None:
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        try:
+            writer = await self._writer_for(dst)
+            writer.write(data)
+            await writer.drain()
+        except (TransportError, OSError):
+            self.dropped += 1
+
+    async def close(self) -> None:
+        await super().close()
+        for writer in list(self._writers.values()) + list(self._readers):
+            writer.close()
+        self._writers.clear()
+        self._readers.clear()
+        for server in self._servers.values():
+            server.close()
+        await asyncio.gather(
+            *(server.wait_closed() for server in self._servers.values()),
+            return_exceptions=True,
+        )
+        self._servers.clear()
+        self.endpoints.clear()
+
+
+def make_transport(kind: str, **kwargs) -> Transport:
+    """Build a transport by name (``"loopback"`` or ``"tcp"``)."""
+    if kind == "loopback":
+        return LoopbackTransport(**kwargs)
+    if kind == "tcp":
+        return TcpTransport(**kwargs)
+    raise ValueError(f"unknown transport {kind!r} (want 'loopback' or 'tcp')")

@@ -1,0 +1,180 @@
+"""The versioned, length-prefixed binary wire protocol.
+
+Every message on the wire is one *frame*::
+
+    0      2      3      4              12         16
+    +------+------+------+--------------+----------+----------------+
+    | 'RW' | ver  | type |  request_id  | pay_len  | payload (JSON) |
+    +------+------+------+--------------+----------+----------------+
+      2 B    1 B    1 B       8 B (BE)     4 B (BE)    pay_len B
+
+A fixed :data:`MAGIC` guards against cross-protocol traffic, the
+version byte rejects frames from a newer writer, and the payload is
+compact UTF-8 JSON -- small, debuggable, and structure-flexible while
+the struct header keeps framing allocation-free.  :data:`MAX_PAYLOAD`
+caps a frame so a corrupt (or hostile) length field can never make a
+reader buffer gigabytes.
+
+Decoding is strict: bad magic, unknown version or message type, an
+oversized length, malformed JSON, or a truncated buffer all raise
+:class:`ProtocolError` -- never a hang, never a partial frame.
+:class:`FrameDecoder` is the incremental flavour for byte streams
+(TCP): feed it arbitrary chunks, it yields complete frames and keeps
+the tail buffered.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+
+#: protocol magic, first on the wire
+MAGIC = b"RW"
+
+#: wire format version (bump on any incompatible header/payload change)
+WIRE_VERSION = 1
+
+#: hard cap on one frame's payload (bytes)
+MAX_PAYLOAD = 1 << 20
+
+#: magic(2s) version(B) type(B) request_id(Q) payload_len(I)
+HEADER = struct.Struct("!2sBBQI")
+
+
+class ProtocolError(Exception):
+    """A frame violated the wire protocol (malformed, unknown, oversized)."""
+
+
+class MsgType(enum.IntEnum):
+    """Frame types of the overlay wire protocol."""
+
+    JOIN = 1
+    ROUTE = 2
+    PUBLISH = 3
+    LOOKUP = 4
+    HEARTBEAT = 5
+    ACK = 6
+    ERROR = 7
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    kind: MsgType
+    request_id: int
+    payload: dict = field(default_factory=dict)
+
+    def reply(self, payload: dict, kind: "MsgType" = None) -> "Frame":
+        """An ACK (or ``kind``) frame correlated to this request."""
+        return Frame(
+            kind=MsgType.ACK if kind is None else kind,
+            request_id=self.request_id,
+            payload=payload,
+        )
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize ``frame`` to its wire bytes."""
+    payload = json.dumps(
+        frame.payload, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )
+    header = HEADER.pack(
+        MAGIC, WIRE_VERSION, int(frame.kind), int(frame.request_id), len(payload)
+    )
+    return header + payload
+
+
+def _parse_header(buffer: bytes) -> tuple:
+    """Validate one frame header; returns ``(kind, request_id, length)``."""
+    magic, version, kind, request_id, length = HEADER.unpack_from(buffer)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported wire version {version} (this build speaks {WIRE_VERSION})"
+        )
+    try:
+        kind = MsgType(kind)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {kind}") from None
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )
+    return kind, request_id, length
+
+
+def _parse_payload(data: bytes) -> dict:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def decode_frame(buffer: bytes) -> Frame:
+    """Decode exactly one frame from ``buffer`` (no trailing bytes)."""
+    if len(buffer) < HEADER.size:
+        raise ProtocolError(
+            f"truncated frame: {len(buffer)} bytes, header needs {HEADER.size}"
+        )
+    kind, request_id, length = _parse_header(buffer)
+    end = HEADER.size + length
+    if len(buffer) < end:
+        raise ProtocolError(
+            f"truncated frame: payload declares {length} bytes, "
+            f"{len(buffer) - HEADER.size} present"
+        )
+    if len(buffer) > end:
+        raise ProtocolError(f"{len(buffer) - end} trailing bytes after frame")
+    return Frame(kind, request_id, _parse_payload(buffer[HEADER.size:end]))
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary byte stream.
+
+    ``feed(chunk)`` returns every frame completed by the chunk; bytes
+    of a not-yet-complete frame stay buffered for the next feed.  A
+    malformed header or payload raises :class:`ProtocolError`
+    immediately -- the stream is unrecoverable past that point, so the
+    decoder refuses further input.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list:
+        if self._poisoned:
+            raise ProtocolError("decoder poisoned by an earlier protocol error")
+        self._buffer.extend(chunk)
+        frames = []
+        try:
+            while len(self._buffer) >= HEADER.size:
+                kind, request_id, length = _parse_header(bytes(self._buffer))
+                end = HEADER.size + length
+                if len(self._buffer) < end:
+                    break
+                payload = _parse_payload(bytes(self._buffer[HEADER.size:end]))
+                del self._buffer[:end]
+                frames.append(Frame(kind, request_id, payload))
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        return frames

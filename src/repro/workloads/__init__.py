@@ -1,9 +1,10 @@
 """Workload generation for experiments and benches."""
 
 from repro.workloads.generator import (
+    poisson_arrivals,
     random_pairs,
     uniform_points,
     zipf_points,
 )
 
-__all__ = ["random_pairs", "uniform_points", "zipf_points"]
+__all__ = ["poisson_arrivals", "random_pairs", "uniform_points", "zipf_points"]

@@ -23,6 +23,25 @@ def random_pairs(node_ids, count: int, rng: np.random.Generator) -> list:
     return pairs
 
 
+def poisson_arrivals(
+    rate: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` cumulative arrival times of a Poisson process.
+
+    Inter-arrival gaps are exponential with mean ``1/rate`` (arrivals
+    per second), so the returned array is strictly increasing and
+    starts after the first gap.  The open-loop load driver
+    (:mod:`repro.runtime.loadgen`) fires one request at each offset
+    regardless of how long earlier requests take -- the standard
+    open-loop arrival model.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return np.cumsum(rng.exponential(1.0 / rate, size=count))
+
+
 def uniform_points(count: int, dims: int, rng: np.random.Generator) -> np.ndarray:
     """Uniformly random lookup keys (points of the unit cube)."""
     return rng.random((count, dims))

@@ -40,6 +40,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "softstate_stretch" in out
 
+    def test_cluster_boots_and_verifies(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--nodes", "12",
+                "--lookups", "20",
+                "--rate", "4000",
+                "--topo-scale", "0.25",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster: 12 nodes over loopback" in out
+        assert "latency: p50" in out
+        assert "verify-against-sim: ok" in out
+
     def test_run_with_profile(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "quick")
         assert main(["run", "gaps", "--profile", "--profile-top", "5"]) == 0

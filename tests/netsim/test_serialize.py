@@ -29,15 +29,37 @@ class TestRoundTrip:
         original = DistanceOracle.from_topology(tiny_topology, ManualLatencyModel())
         assert oracle.distance(0, 5) == pytest.approx(original.distance(0, 5))
 
-    def test_bad_version_rejected(self, tiny_topology, tmp_path):
+    @staticmethod
+    def _rewrite_version(topology, path, version):
         import json
 
-        path = tmp_path / "topo.npz"
-        save_topology(tiny_topology, path)
+        save_topology(topology, path)
         data = dict(np.load(path))
         header = json.loads(bytes(data["header"]).decode())
-        header["format_version"] = 999
+        header["format_version"] = version
         data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
         np.savez_compressed(path, **data)
-        with pytest.raises(ValueError, match="unsupported"):
+
+    def test_newer_version_rejected_with_clear_error(self, tiny_topology, tmp_path):
+        """A file from a future writer must fail loudly, naming both versions."""
+        path = tmp_path / "topo.npz"
+        self._rewrite_version(tiny_topology, path, 999)
+        with pytest.raises(ValueError, match=r"format_version 999.*newer than"):
+            load_topology(path)
+
+    def test_newer_version_message_names_supported_version(
+        self, tiny_topology, tmp_path
+    ):
+        from repro.netsim.serialize import FORMAT_VERSION
+
+        path = tmp_path / "topo.npz"
+        self._rewrite_version(tiny_topology, path, FORMAT_VERSION + 1)
+        with pytest.raises(ValueError, match=str(FORMAT_VERSION)):
+            load_topology(path)
+
+    @pytest.mark.parametrize("version", [None, "1", 0, -3, True])
+    def test_garbage_version_rejected(self, tiny_topology, tmp_path, version):
+        path = tmp_path / "topo.npz"
+        self._rewrite_version(tiny_topology, path, version)
+        with pytest.raises(ValueError, match="format_version"):
             load_topology(path)

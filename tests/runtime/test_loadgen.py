@@ -1,0 +1,115 @@
+"""Open-loop load driver: schedules, percentiles, reports."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkParams, OverlayParams
+from repro.runtime import Cluster, ClusterConfig, latency_percentiles, run_load
+from repro.runtime.loadgen import LoadReport
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_config(nodes=16):
+    return ClusterConfig(
+        nodes=nodes,
+        network=NetworkParams(topo_scale=0.25, seed=3),
+        overlay=OverlayParams(num_nodes=nodes, seed=5),
+    )
+
+
+class TestPercentiles:
+    def test_ordering_and_values(self):
+        sample = list(range(1, 101))  # 1..100 ms
+        pct = latency_percentiles(sample)
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+        assert pct["p50"] == pytest.approx(50.5)
+
+    def test_empty_sample_is_nan(self):
+        pct = latency_percentiles([])
+        assert all(np.isnan(v) for v in pct.values())
+
+
+class TestLoadReport:
+    def test_summary_wall_keys(self):
+        """Wall-derived numbers live only under wall-prefixed keys."""
+        report = LoadReport(
+            ops=10,
+            errors=1,
+            latencies_ms=[1.0] * 10,
+            offered_rate=100.0,
+            wall_duration_s=0.5,
+        )
+        summary = report.summary()
+        assert summary["ops"] == 10
+        assert summary["errors"] == 1
+        assert report.succeeded == 9
+        assert summary["wall_throughput_ops"] == pytest.approx(18.0)
+        for key, value in summary.items():
+            if isinstance(value, float) and key not in ("offered_rate",):
+                assert key.startswith("wall"), key
+
+
+class TestRunLoad:
+    def test_all_lookups_complete_without_errors(self):
+        async def scenario():
+            async with Cluster(make_config()) as cluster:
+                return await run_load(cluster, rate=4000, count=120, seed=11)
+
+        report = run(scenario())
+        assert report.ops == 120
+        assert report.errors == 0
+        assert len(report.latencies_ms) == 120
+        pct = report.percentiles()
+        assert 0 < pct["p50"] <= pct["p99"]
+        assert report.achieved_rate > 0
+
+    def test_route_op_mix(self):
+        async def scenario():
+            async with Cluster(make_config()) as cluster:
+                return await run_load(
+                    cluster, rate=4000, count=40, seed=2, op="route"
+                )
+
+        report = run(scenario())
+        assert report.errors == 0
+
+    def test_unknown_op_rejected(self):
+        async def scenario():
+            async with Cluster(make_config(nodes=4)) as cluster:
+                with pytest.raises(ValueError, match="unknown op"):
+                    await run_load(cluster, rate=100, count=4, op="teleport")
+
+        run(scenario())
+
+    def test_open_loop_respects_arrival_schedule(self):
+        """Total duration is at least the last scheduled arrival offset."""
+
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                rng = np.random.default_rng(9)
+                from repro.workloads import poisson_arrivals
+
+                expected_last = poisson_arrivals(200.0, 30, rng)[-1]
+                report = await run_load(cluster, rate=200.0, count=30, seed=9)
+                return report, float(expected_last)
+
+        report, expected_last = run(scenario())
+        # the driver fires at scheduled offsets, so the run cannot end
+        # before the final arrival (minus scheduler slop)
+        assert report.wall_duration_s >= expected_last * 0.8
+
+    def test_telemetry_counters_recorded(self):
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                await run_load(cluster, rate=4000, count=25, seed=1)
+                counters = dict(cluster.network.telemetry.counters)
+                return counters
+
+        counters = run(scenario())
+        assert counters.get("loadgen_ops") == 25
+        assert counters.get("loadgen_errors", 0) == 0

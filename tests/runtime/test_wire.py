@@ -1,0 +1,162 @@
+"""Wire codec: roundtrips, fuzzed corruption, incremental reassembly."""
+
+import json
+import struct
+
+import pytest
+
+from repro.runtime.wire import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD,
+    WIRE_VERSION,
+    Frame,
+    FrameDecoder,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+SAMPLE_PAYLOADS = {
+    MsgType.JOIN: {"src": "joiner:3", "capacity": 1.0},
+    MsgType.ROUTE: {"point": [0.25, 0.75], "path": [0, 4, 9], "op": "lookup"},
+    MsgType.PUBLISH: {"src": 12},
+    MsgType.LOOKUP: {"querier": 7, "level": 1, "cell": [0, 1]},
+    MsgType.HEARTBEAT: {"seq": 41, "src": 2},
+    MsgType.ACK: {"owner": 5, "path": [1, 5], "hops": 1},
+    MsgType.ERROR: {"error": "route stuck after 3 hops"},
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", list(MsgType))
+    def test_every_frame_type_roundtrips(self, kind):
+        frame = Frame(kind, request_id=0xDEADBEEF, payload=SAMPLE_PAYLOADS[kind])
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind is kind
+        assert decoded.request_id == 0xDEADBEEF
+        assert decoded.payload == SAMPLE_PAYLOADS[kind]
+
+    def test_empty_payload(self):
+        decoded = decode_frame(encode_frame(Frame(MsgType.HEARTBEAT, 1)))
+        assert decoded.payload == {}
+
+    def test_reply_correlates_request_id(self):
+        request = Frame(MsgType.PUBLISH, 99, {"src": 3})
+        reply = request.reply({"regions": 2})
+        assert reply.kind is MsgType.ACK
+        assert reply.request_id == 99
+        error = request.reply({"error": "boom"}, kind=MsgType.ERROR)
+        assert error.kind is MsgType.ERROR
+
+
+class TestMalformedFrames:
+    def test_truncated_at_every_prefix_length(self):
+        data = encode_frame(Frame(MsgType.ROUTE, 7, SAMPLE_PAYLOADS[MsgType.ROUTE]))
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError, match="truncated"):
+                decode_frame(data[:cut])
+
+    def test_unknown_message_type(self):
+        bad = HEADER.pack(MAGIC, WIRE_VERSION, 250, 1, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="unknown message type 250"):
+            decode_frame(bad)
+
+    def test_bad_magic(self):
+        bad = HEADER.pack(b"XX", WIRE_VERSION, int(MsgType.ACK), 1, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="bad magic"):
+            decode_frame(bad)
+
+    def test_newer_wire_version(self):
+        bad = HEADER.pack(MAGIC, WIRE_VERSION + 1, int(MsgType.ACK), 1, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="unsupported wire version"):
+            decode_frame(bad)
+
+    def test_oversized_declared_length(self):
+        bad = HEADER.pack(
+            MAGIC, WIRE_VERSION, int(MsgType.ACK), 1, MAX_PAYLOAD + 1
+        )
+        with pytest.raises(ProtocolError, match="exceeds MAX_PAYLOAD"):
+            decode_frame(bad + b"x" * 16)
+
+    def test_oversized_payload_refused_at_encode(self):
+        huge = {"blob": "x" * (MAX_PAYLOAD + 16)}
+        with pytest.raises(ProtocolError, match="exceeds MAX_PAYLOAD"):
+            encode_frame(Frame(MsgType.PUBLISH, 1, huge))
+
+    def test_trailing_garbage(self):
+        data = encode_frame(Frame(MsgType.ACK, 1, {"ok": True}))
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(data + b"\x00")
+
+    def test_non_object_payload(self):
+        body = json.dumps([1, 2, 3]).encode()
+        bad = HEADER.pack(MAGIC, WIRE_VERSION, int(MsgType.ACK), 1, len(body)) + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(bad)
+
+    def test_malformed_json_payload(self):
+        body = b"{not json"
+        bad = HEADER.pack(MAGIC, WIRE_VERSION, int(MsgType.ACK), 1, len(body)) + body
+        with pytest.raises(ProtocolError, match="malformed"):
+            decode_frame(bad)
+
+    def test_corrupt_bytes_never_hang(self):
+        """Random corruptions either decode or raise -- promptly, always."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        data = bytearray(
+            encode_frame(Frame(MsgType.ROUTE, 3, SAMPLE_PAYLOADS[MsgType.ROUTE]))
+        )
+        for _ in range(200):
+            corrupt = bytearray(data)
+            position = int(rng.integers(0, len(corrupt)))
+            corrupt[position] ^= int(rng.integers(1, 256))
+            try:
+                decode_frame(bytes(corrupt))
+            except ProtocolError:
+                pass
+
+
+class TestFrameDecoder:
+    def test_single_byte_feeds(self):
+        frames = [
+            Frame(MsgType.JOIN, 1, {"src": "joiner:1"}),
+            Frame(MsgType.ACK, 1, {"node_id": 4, "host": 17}),
+            Frame(MsgType.HEARTBEAT, 2, {"seq": 0}),
+        ]
+        stream = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert [f.kind for f in out] == [f.kind for f in frames]
+        assert [f.payload for f in out] == [f.payload for f in frames]
+        assert decoder.pending_bytes == 0
+
+    def test_multiple_frames_in_one_chunk(self):
+        frames = [Frame(MsgType.ACK, i, {"i": i}) for i in range(5)]
+        decoder = FrameDecoder()
+        out = decoder.feed(b"".join(encode_frame(f) for f in frames))
+        assert [f.payload["i"] for f in out] == [0, 1, 2, 3, 4]
+
+    def test_partial_tail_stays_buffered(self):
+        data = encode_frame(Frame(MsgType.ACK, 1, {"ok": True}))
+        decoder = FrameDecoder()
+        assert decoder.feed(data + data[:5]) != []
+        assert decoder.pending_bytes == 5
+        assert decoder.feed(data[5:])[0].payload == {"ok": True}
+
+    def test_poisoned_after_protocol_error(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"XX" + b"\x00" * 32)
+        with pytest.raises(ProtocolError, match="poisoned"):
+            decoder.feed(b"")
+
+    def test_header_size_is_stable(self):
+        """The frame header is part of the versioned wire contract."""
+        assert HEADER.size == 16
+        assert struct.calcsize("!2sBBQI") == 16
