@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke soak-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -41,6 +41,16 @@ bench-smoke:
 runtime-smoke:
 	$(PYTHON) scripts/runtime_smoke.py
 
+# The self-stabilization gate: CI-sized churn soak in both execution
+# modes.  A sim overlay and a live loopback cluster take continuous
+# join/leave/crash/partition churn plus adversarial state corruption
+# (scrambled tables, stale replicas, poisoned owner index) and must
+# converge back to check_invariants-clean within the round budget,
+# with zero false kills/purges and measured availability through a
+# kill-33% event.  Leaves benchmarks/out/soak/churn_soak.json.
+soak-smoke:
+	$(PYTHON) scripts/churn_soak.py --smoke
+
 # The recovery acceptance scenario: 20% simultaneous crash + one
 # transit partition window under probe loss; asserts the stack-wide
 # invariants hold post-recovery and that no live node was falsely
@@ -60,6 +70,7 @@ ci:
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
 	$(MAKE) chaos-smoke
 	$(MAKE) runtime-smoke
+	$(MAKE) soak-smoke
 	$(MAKE) bench-smoke
 	$(PYTHON) scripts/bench_report.py --check
 

@@ -48,14 +48,23 @@ def run_cell(n: int, topo_scale: float, seed: int = 0) -> dict:
     """Build an N-node overlay and time its hot paths.
 
     The physical network is constructed outside the timed section --
-    the row is about overlay paths, not topology generation.
+    the row is about overlay paths, not topology generation.  A second
+    throwaway overlay is built through :meth:`build_bulk` so the row
+    records the batched bulk-join fast path's delta over the
+    incremental build (same membership and zones; publications are
+    deferred to one flush against the final tessellation).
     """
     network = make_network(NetworkParams(topo_scale=topo_scale, seed=seed))
     overlay = TopologyAwareOverlay(network, OverlayParams(num_nodes=n, seed=seed))
-
     t0 = time.perf_counter()
     overlay.build(n)
     t1 = time.perf_counter()
+
+    bulk = TopologyAwareOverlay(network, OverlayParams(num_nodes=n, seed=seed))
+    tb0 = time.perf_counter()
+    bulk.build_bulk(n)
+    tb1 = time.perf_counter()
+    bulk_s = tb1 - tb0
     stretch = overlay.measure_stretch(2 * n)
     t2 = time.perf_counter()
 
@@ -82,8 +91,10 @@ def run_cell(n: int, topo_scale: float, seed: int = 0) -> dict:
         "mean_stretch": float(stretch.mean()),
         "lookup_samples": LOOKUP_SAMPLES,
         "wall_build_s": build_s,
+        "wall_bulk_build_s": bulk_s,
         "wall_stretch_s": stretch_s,
         "wall_joins_per_s": n / build_s if build_s > 0 else None,
+        "wall_bulk_joins_per_s": n / bulk_s if bulk_s > 0 else None,
         "wall_routes_per_s": (
             float(stretch.size) / stretch_s if stretch_s > 0 else None
         ),

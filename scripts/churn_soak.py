@@ -1,0 +1,151 @@
+"""Churn soak: both execution modes must self-stabilize under attack.
+
+The self-stabilization gate for the recovery stack, run by
+``make soak-smoke`` and CI:
+
+* **sim**: a simulated overlay under continuous join/leave/crash
+  (+ partition) churn, with adversarial corruption injected each
+  epoch -- scrambled expressway tables, stale map replicas, a
+  poisoned owner index -- must converge back to a
+  ``check_invariants``-clean state within a bounded number of repair
+  rounds, every epoch;
+* **live**: a loopback cluster running the wire-level SWIM loop must
+  sustain open-loop lookups through a kill-33%-of-nodes event with
+  measured availability, shield verdicts through a partition window
+  without false kills, and converge from the same three corruption
+  classes within the round budget.
+
+Writes the full record to ``benchmarks/out/soak/churn_soak.json``
+(uploaded as a CI artifact) and exits non-zero if any epoch missed
+its round budget, the live cluster served nothing through the kill,
+or any false kill/purge occurred.
+
+Usage::
+
+    python scripts/churn_soak.py --smoke          # CI-sized, time-boxed
+    python scripts/churn_soak.py                  # default sizes
+    python scripts/churn_soak.py --mode sim --sim-nodes 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.soak import SoakConfig, run_live_soak, run_sim_soak  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "soak" / "churn_soak.json"
+
+
+def _failures(record: dict) -> list:
+    mode = record["mode"]
+    out = []
+    for epoch in record["epochs"]:
+        rounds = epoch.get("rounds_to_converge", epoch.get("wall_rounds_to_converge"))
+        if rounds is None:
+            out.append(
+                f"{mode}/{epoch['kind']}: no convergence within budget "
+                f"({epoch['violation']})"
+            )
+    if record["false_kills"]:
+        out.append(f"{mode}: {record['false_kills']} false kill(s)")
+    if record["false_purges"]:
+        out.append(f"{mode}: {record['false_purges']} false purge(s)")
+    if mode == "live" and not record["wall_availability"] > 0.0:
+        out.append("live: served nothing through the kill-33% event")
+    return out
+
+
+def _report(record: dict) -> None:
+    mode = record["mode"]
+    for epoch in record["epochs"]:
+        rounds = epoch.get("rounds_to_converge", epoch.get("wall_rounds_to_converge"))
+        extra = (
+            f", availability {epoch['availability']:.2f}"
+            if "availability" in epoch
+            else ""
+        )
+        print(
+            f"  {mode:4s} {epoch['kind']:18s} corrupted {epoch['corrupted']:4d}"
+            f" -> converged in {rounds} round(s){extra}"
+        )
+    if mode == "live":
+        print(
+            f"  live availability through kill-{record['killed']}-nodes: "
+            f"{record['wall_availability']:.2f} "
+            f"({record['load_errors']}/{record['load_ops']} errors, "
+            f"p99 {record['wall_p99_ms']:.1f} ms, "
+            f"{record['retries']} retries)"
+        )
+    print(
+        f"  {mode}: false_kills={record['false_kills']} "
+        f"false_purges={record['false_purges']} "
+        f"takeovers={record['takeovers']} "
+        f"scrub_repairs={record['scrub_repairs']} "
+        f"shielded={record['shielded_verdicts']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("sim", "live", "both"), default="both")
+    parser.add_argument("--sim-nodes", type=int, default=256)
+    parser.add_argument("--live-nodes", type=int, default=96)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--budget", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: fewer nodes, same gates, bounded wall time",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sim_nodes = min(args.sim_nodes, 128)
+        args.live_nodes = min(args.live_nodes, 48)
+        args.budget = min(args.budget, 25)
+
+    records = []
+    if args.mode in ("sim", "both"):
+        config = SoakConfig(
+            nodes=args.sim_nodes,
+            epochs=args.epochs,
+            round_budget=args.budget,
+            seed=args.seed,
+        )
+        print(f"sim soak: {args.sim_nodes} nodes, {args.epochs} epochs")
+        records.append(run_sim_soak(config))
+        _report(records[-1])
+    if args.mode in ("live", "both"):
+        config = SoakConfig(
+            nodes=args.live_nodes,
+            epochs=args.epochs,
+            round_budget=args.budget,
+            lookups=max(120, args.live_nodes * 2),
+            seed=args.seed,
+        )
+        print(f"live soak: {args.live_nodes} nodes over loopback")
+        records.append(asyncio.run(run_live_soak(config)))
+        _report(records[-1])
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = [f for record in records for f in _failures(record)]
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("churn soak OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

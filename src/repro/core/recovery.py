@@ -337,6 +337,9 @@ class RecoveryManager:
         self.republished = 0
         #: reconciliation passes run (partition heals)
         self.reconciliations = 0
+        #: table entries, map records and index attributions repaired
+        #: by self-stabilization scrub passes
+        self.scrubbed = 0
         detector.on_death.append(self.handle_death)
 
     @property
@@ -456,6 +459,95 @@ class RecoveryManager:
                     summary = run()
         if telemetry is not None:
             telemetry.emit("reconcile", **summary)
+        return summary
+
+    # -- self-stabilization scrubs ------------------------------------------
+
+    def scrub_tables(self) -> int:
+        """Validate every expressway entry; re-select the broken ones.
+
+        The eager sweep behind the self-stabilization claim: an
+        adversarially scrambled entry -- pointing at a node that is not
+        a member, or at a member whose zones no longer overlap the
+        cell -- is caught and re-selected here rather than when a route
+        trips over it.  Re-selection is charged through the usual
+        neighbor-selection path; a cell with no eligible member left is
+        dropped from the row so :func:`check_invariants` never sees a
+        ghost.  Returns the number of entries repaired.
+        """
+        ecan = self.overlay.ecan
+        members = ecan.can.nodes
+        repaired = 0
+        for node_id in sorted(ecan._tables):
+            if node_id not in members:
+                continue
+            table = ecan._tables[node_id]
+            for level in sorted(table):
+                row = table[level]
+                for cell in sorted(row):
+                    entry = row[cell]
+                    if entry in members and ecan._entry_valid_uncached(
+                        entry, level, cell
+                    ):
+                        continue
+                    if ecan.refresh_entry(node_id, level, cell) is None:
+                        row.pop(cell, None)
+                    repaired += 1
+        return repaired
+
+    def scrub_store(self) -> int:
+        """Re-place map records that drifted off their computed position.
+
+        A stored copy whose position or replica set no longer equals
+        the pure placement function ``position_of(record, region)`` is
+        stale -- whether through tampering or a missed migration.  Live
+        subjects re-publish (restoring position, replicas and the owner
+        index in one charged pass); records of departed subjects are
+        purged.  Returns the number of subjects repaired.
+        """
+        store = self.overlay.store
+        members = self.overlay.ecan.can.nodes
+        stale = set()
+        for region, bucket in store.maps.items():
+            for node_id, stored in bucket.items():
+                if stored.position != store.position_of(stored.record, region):
+                    stale.add(node_id)
+                elif stored.replicas != store.replica_positions(
+                    stored.record, region
+                ):
+                    stale.add(node_id)
+        for node_id in sorted(stale):
+            if node_id in store.registry and node_id in members:
+                store.publish(node_id)
+            else:
+                store.purge_record(node_id, charge=True)
+        return len(stale)
+
+    def scrub(self) -> dict:
+        """One full anti-entropy scrub pass: tables, records, index.
+
+        The periodic self-stabilization sweep the churn-soak harness
+        drives between legitimacy checks; cheap when the state is
+        already legitimate (pure validation, no writes).  Returns the
+        per-structure repair counts.
+        """
+        telemetry = self._telemetry
+
+        def run():
+            tables = self.scrub_tables()
+            records = self.scrub_store()
+            index = self.overlay.store.rebuild_owner_index()
+            return {"tables": tables, "records": records, "index": index}
+
+        with self.network.clock.frozen():
+            if telemetry is None:
+                summary = run()
+            else:
+                with telemetry.phase("scrub"):
+                    summary = run()
+        self.scrubbed += sum(summary.values())
+        if telemetry is not None and any(summary.values()):
+            telemetry.emit("scrub_repairs", **summary)
         return summary
 
 

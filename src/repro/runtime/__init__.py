@@ -16,11 +16,18 @@ configured arrival rate and reports latency percentiles.
 Live runs are cross-validated against the synchronous simulator: the
 same (config, seed) must produce identical lookup owners and route
 endpoints (:meth:`Cluster.verify_against_sim`).
+
+Self-healing runs live too: :class:`~repro.runtime.recovery.RuntimeRecovery`
+drives a SWIM-style failure detector over HEARTBEAT frames (direct
+probes, witness relays, partition shielding) and reuses the
+simulator's :class:`~repro.core.recovery.RecoveryManager` for zone
+takeover and replica re-hosting when a death is confirmed.
 """
 
 from repro.runtime.cluster import Cluster, ClusterConfig
 from repro.runtime.loadgen import LoadReport, latency_percentiles, run_load
 from repro.runtime.node import NodeProcess
+from repro.runtime.recovery import RuntimeRecovery
 from repro.runtime.transport import (
     LoopbackTransport,
     TcpTransport,
@@ -47,6 +54,7 @@ __all__ = [
     "MsgType",
     "NodeProcess",
     "ProtocolError",
+    "RuntimeRecovery",
     "TcpTransport",
     "Transport",
     "TransportError",

@@ -25,12 +25,15 @@ configured time dilation.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+import itertools
+import math
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.builder import TopologyAwareOverlay
 from repro.core.config import NetworkParams, OverlayParams, make_network
+from repro.netsim.faults import Partition
 from repro.runtime.node import NodeProcess
 from repro.runtime.transport import make_transport
 from repro.runtime.wire import MsgType
@@ -53,13 +56,23 @@ class ClusterConfig:
     fault_seed: int = 0
     request_timeout: float = 30.0
     max_hops: int = 512
+    #: wall seconds between live failure-detector rounds
+    heartbeat_period: float = 0.25
+    #: wall seconds one HEARTBEAT probe waits before counting as silence
+    probe_timeout: float = 0.5
+    #: optional :class:`~repro.core.reliability.RetryPolicy` resending
+    #: timed-out/undeliverable requests (delays read as wall ms); the
+    #: shared instance accumulates cluster-wide retry accounting
+    retry: object = None
+    #: boot through the builder's batched bulk-join fast path instead
+    #: of sequential wire JOINs (same membership/zones, tables may
+    #: differ; for large soak clusters where O(N) wire joins dominate)
+    bulk_boot: bool = False
 
     def __post_init__(self):
         if self.nodes < 1:
             raise ValueError("a cluster needs at least one node")
         if self.overlay.num_nodes != self.nodes:
-            from dataclasses import replace
-
             self.overlay = replace(self.overlay, num_nodes=self.nodes)
 
 
@@ -89,6 +102,12 @@ class Cluster:
         )
         #: node id -> NodeProcess, in join order
         self.actors: dict = {}
+        #: crash-stopped node id -> physical host (corpses; the overlay
+        #: still lists them until the failure detector repairs)
+        self.crashed: dict = {}
+        #: armed by :meth:`enable_recovery`
+        self.recovery = None
+        self._rejoin_ids = itertools.count(1)
         self._started = False
 
     # -- membership --------------------------------------------------------
@@ -123,6 +142,14 @@ class Cluster:
         self._started = True
         await self.transport.start()
         with self.network.telemetry.phase("runtime_boot"):
+            if self.config.bulk_boot:
+                for node_id in self.overlay.build_bulk(self.config.nodes):
+                    host = int(self.overlay.ecan.can.nodes[node_id].host)
+                    actor = NodeProcess(self, node_id, host=host)
+                    await actor.start()
+                    self.actors[node_id] = actor
+                    self.network.telemetry.bump("runtime_join")
+                return self
             node_id, host = self.admit()
             seed_actor = NodeProcess(self, node_id, host=host)
             await seed_actor.start()
@@ -136,6 +163,9 @@ class Cluster:
         return self
 
     async def stop(self) -> None:
+        if self.recovery is not None:
+            await self.recovery.stop()
+            self.recovery = None
         for actor in list(self.actors.values()):
             await actor.stop()
         self.actors.clear()
@@ -153,6 +183,169 @@ class Cluster:
         if actor is None:
             raise KeyError(f"node {node_id} is not a cluster member")
         return actor
+
+    # -- churn & self-healing ----------------------------------------------
+
+    def _ensure_faults(self):
+        """Arm a (possibly empty) injector over the network, lazily.
+
+        Crash semantics -- the crashed-host ledger that
+        :func:`~repro.core.recovery.check_invariants` and the store's
+        copy-death accounting read -- live on ``network.faults``; live
+        churn arms an empty plan on first use so fault-free runs keep
+        the perfect-network fast path until the first crash.
+        """
+        if self.network.faults is None:
+            from repro.netsim.faults import FaultPlan
+
+            self.network.arm_faults(FaultPlan(), seed=self.config.fault_seed)
+        return self.network.faults
+
+    def _injectors(self) -> list:
+        """Every injector that must agree on crash/partition state.
+
+        The transport consults only its own (possibly detached)
+        injector for frame drops; when none was configured the
+        network's injector is adopted so wire traffic sees the same
+        crashes and partitions the overlay bookkeeping does.
+        """
+        faults = self._ensure_faults()
+        if self.transport.faults is None:
+            self.transport.faults = faults
+        if self.transport.faults is faults:
+            return [faults]
+        return [faults, self.transport.faults]
+
+    async def crash(self, node_id: int) -> dict:
+        """Crash-stop a member's *machine* with no immediate repair.
+
+        Crash semantics are host-level, matching the simulator's
+        ``crash_node``: physical hosts are shared, so when the machine
+        dies every member process it runs dies with it.  The actors
+        die mid-flight (pending requests fail fast), the host stops
+        answering probes and frames, and every map copy the victims
+        hosted vanishes -- but the overlay still lists the corpses
+        until the wire failure detector (:meth:`enable_recovery`)
+        confirms the deaths and repairs zones, tables and replicas.
+        Returns the victim list and copy-loss summary.
+        """
+        host = int(self._actor(node_id).host)
+        victims = sorted(
+            n for n, actor in self.actors.items() if int(actor.host) == host
+        )
+        for injector in self._injectors():
+            injector.crash_host(host)
+        salvageable = lost = 0
+        for victim in victims:
+            actor = self.actors.pop(victim)
+            await actor.stop()
+            kept, gone = self.overlay.store.drop_hosted_by(victim)
+            salvageable += len(kept)
+            lost += len(gone)
+            self.crashed[victim] = host
+            self.network.telemetry.emit(
+                "runtime_crash", node_id=victim, host=host, lost=len(gone)
+            )
+        return {"victims": victims, "salvageable": salvageable, "lost": lost}
+
+    async def kill_fraction(self, fraction: float, seed: int = 0) -> list:
+        """Crash ``fraction`` of the membership at once (never the
+        bootstrap's machine).  Seed victims are drawn deterministically
+        from ``seed``; each crash takes its whole host down, so the
+        returned node-id list can run a little over ``fraction``."""
+        rng = np.random.default_rng(seed)
+        boot_host = int(self.bootstrap.host)
+        pool = sorted(
+            n for n, actor in self.actors.items() if int(actor.host) != boot_host
+        )
+        count = min(len(pool), max(1, int(round(fraction * len(self)))))
+        picks = rng.choice(len(pool), size=count, replace=False)
+        victims: list = []
+        for victim in sorted(pool[int(i)] for i in picks):
+            if victim in self.actors:  # not already dead via a co-hosted pick
+                victims.extend((await self.crash(victim))["victims"])
+        return sorted(victims)
+
+    async def leave(self, node_id: int) -> None:
+        """Graceful departure: withdraw records, hand zones over, stop."""
+        actor = self._actor(node_id)
+        await actor.stop()
+        del self.actors[node_id]
+        self.overlay.remove_node(node_id, graceful=True)
+
+    async def restart(self, node_id: int = None) -> int:
+        """Start a fresh process that (re)joins over the wire.
+
+        Crash-stop destroys the old identity for good, so a restart is
+        a brand-new member admitted through the normal JOIN path --
+        landmark measurement, CAN join, publication, table build.
+        ``node_id`` optionally names the crashed member being replaced
+        (clears its crash-ledger entry).  Returns the new node id.
+        """
+        if node_id is not None:
+            self.crashed.pop(node_id, None)
+        joiner = NodeProcess(self, f"rejoin:{next(self._rejoin_ids)}")
+        await joiner.start()
+        ack = await joiner.request(self.bootstrap.addr, MsgType.JOIN, {})
+        await joiner.rebind(int(ack["node_id"]), host=int(ack["host"]))
+        self.actors[joiner.addr] = joiner
+        self.network.telemetry.bump("runtime_join")
+        return joiner.addr
+
+    def partition(self, domains) -> None:
+        """Sever ``domains`` from the rest of the topology, open-ended.
+
+        Installs an active :class:`~repro.netsim.faults.Partition`
+        window (``end = inf``) on every injector, so frames crossing
+        the cut drop and the failure detector shields its verdicts
+        against the severed side.  :meth:`heal_partition` ends it.
+        """
+        window = Partition(
+            start=self.network.clock.now, end=math.inf, domains=tuple(domains)
+        )
+        for injector in self._injectors():
+            injector.plan = replace(
+                injector.plan, partitions=injector.plan.partitions + (window,)
+            )
+
+    def heal_partition(self) -> int:
+        """End every open-ended partition; returns how many were healed.
+
+        Live partitions have no scheduled end (the sim clock does not
+        advance under the runtime), so after healing the caller should
+        run ``recovery.reconcile()`` to re-probe shielded suspects.
+        """
+        healed = 0
+        for injector in self._injectors():
+            keep = tuple(
+                p for p in injector.plan.partitions if p.end != math.inf
+            )
+            healed = max(healed, len(injector.plan.partitions) - len(keep))
+            injector.plan = replace(injector.plan, partitions=keep)
+        return healed
+
+    async def enable_recovery(self, params=None, seed: int = 0xFD):
+        """Arm the wire-level SWIM loop + recovery stack (idempotent).
+
+        Returns the running
+        :class:`~repro.runtime.recovery.RuntimeRecovery`.
+        """
+        if self.recovery is None:
+            from repro.runtime.recovery import RuntimeRecovery
+
+            self.recovery = RuntimeRecovery(self, params, seed=seed)
+            await self.recovery.start()
+        return self.recovery
+
+    def retry_counters(self) -> dict:
+        """Cluster-wide request resend accounting (see ``config.retry``)."""
+        policy = self.config.retry
+        if policy is None:
+            return {"retries": 0, "backoff_ms": 0.0}
+        return {
+            "retries": int(policy.retries),
+            "backoff_ms": float(policy.backoff_slept_ms),
+        }
 
     # -- RPCs --------------------------------------------------------------
 

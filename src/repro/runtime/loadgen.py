@@ -47,6 +47,10 @@ class LoadReport:
     offered_rate: float = 0.0
     #: wall seconds from first arrival to last completion
     wall_duration_s: float = 0.0
+    #: request attempts resent under the cluster's retry policy
+    retries: int = 0
+    #: wall milliseconds slept in retry backoff across the run
+    backoff_ms: float = 0.0
 
     @property
     def succeeded(self) -> int:
@@ -74,6 +78,10 @@ class LoadReport:
             "wall_p50_ms": pct["p50"],
             "wall_p95_ms": pct["p95"],
             "wall_p99_ms": pct["p99"],
+            # retry counts depend on wall-clock races (which attempts
+            # time out), so they live under the wall contract too
+            "wall_retries": self.retries,
+            "wall_backoff_ms": self.backoff_ms,
         }
 
 
@@ -114,6 +122,11 @@ async def run_load(
     loop = asyncio.get_running_loop()
     start_time = loop.time()
     report = LoadReport(ops=count, errors=0, offered_rate=float(rate))
+    # the shared policy instance carries cluster-wide accounting;
+    # snapshot so the report charges only this run's resends
+    policy = getattr(cluster.config, "retry", None)
+    retries_before = 0 if policy is None else policy.retries
+    backoff_before = 0.0 if policy is None else policy.backoff_slept_ms
 
     async def fire(index: int) -> None:
         delay = start_time + float(arrivals[index]) - loop.time()
@@ -135,10 +148,15 @@ async def run_load(
     wall_began = time.perf_counter()
     await asyncio.gather(*(fire(i) for i in range(count)))
     report.wall_duration_s = time.perf_counter() - wall_began
+    if policy is not None:
+        report.retries = int(policy.retries - retries_before)
+        report.backoff_ms = float(policy.backoff_slept_ms - backoff_before)
 
     telemetry = cluster.network.telemetry
     telemetry.count("loadgen_ops", report.ops)
     telemetry.count("loadgen_errors", report.errors)
+    if report.retries:
+        telemetry.count("loadgen_retries", report.retries)
     pct = report.percentiles()
     if np.isfinite(pct["p99"]):
         telemetry.gauge("loadgen_wall_p99_ms", pct["p99"])

@@ -50,6 +50,8 @@ class NodeProcess:
         self._task = None
         #: frames this actor processed, by kind name (diagnostics)
         self.handled: dict = {}
+        #: request attempts this actor resent under its retry policy
+        self.retries = 0
 
     @property
     def node_id(self):
@@ -75,9 +77,15 @@ class NodeProcess:
                 pass
             self._task = None
         await self.transport.unbind(self.addr)
+        # fail pending requests rather than cancelling them: a
+        # CancelledError is a BaseException and would tear straight
+        # through an awaiting load generator's error handling, turning
+        # a crashed peer into a crashed workload
         for future in self.pending.values():
             if not future.done():
-                future.cancel()
+                future.set_exception(
+                    TransportError(f"node {self.addr!r} stopped")
+                )
         self.pending.clear()
 
     async def rebind(self, addr, host: int = None) -> None:
@@ -120,12 +128,48 @@ class NodeProcess:
                         frame.reply({"error": repr(exc)}, kind=MsgType.ERROR),
                     )
 
-    async def request(self, dst, kind: MsgType, payload: dict, timeout=None) -> dict:
-        """Send one frame and await the correlated ACK payload."""
+    async def request(
+        self, dst, kind: MsgType, payload: dict, timeout=None, retry=None
+    ) -> dict:
+        """Send one frame and await the correlated ACK payload.
+
+        ``retry`` selects the resend policy: ``None`` uses the
+        cluster-wide :attr:`ClusterConfig.retry` (no resend when that
+        is unset too), ``False`` forces a single attempt, and a
+        :class:`~repro.core.reliability.RetryPolicy` overrides both.
+        Lost or unanswered attempts back off by the policy's schedule
+        -- interpreted as wall milliseconds -- and the shared policy
+        instance accumulates the retry/backoff accounting, giving
+        cluster-wide counters for free.  A :class:`RemoteError` is
+        never retried: the peer answered, it just said no.
+        """
+        if retry is None:
+            retry = self.cluster.config.retry
+        attempts = 1 if retry in (None, False) else retry.max_attempts
+        failure = None
+        for attempt in range(attempts):
+            try:
+                return await self._request_once(dst, kind, payload, timeout)
+            except (TransportError, RequestTimeout) as exc:
+                failure = exc
+                if attempt + 1 < attempts:
+                    self.retries += 1
+                    delay_ms = retry.sleep(attempt)
+                    if delay_ms > 0.0:
+                        await asyncio.sleep(delay_ms / 1000.0)
+        raise failure
+
+    async def _request_once(self, dst, kind: MsgType, payload: dict, timeout) -> dict:
         if timeout is None:
             timeout = self.cluster.config.request_timeout
         request_id = next(self._req_ids)
         future = asyncio.get_running_loop().create_future()
+        # a crash may fail this future after its awaiter timed out and
+        # moved on; retrieve defensively so no "exception was never
+        # retrieved" noise outlives the actor
+        future.add_done_callback(
+            lambda f: None if f.cancelled() else f.exception()
+        )
         self.pending[request_id] = future
         frame = Frame(kind, request_id, {**payload, "src": self.addr})
         sent = await self.transport.send(self.addr, dst, frame)
@@ -168,7 +212,7 @@ class NodeProcess:
         elif frame.kind is MsgType.LOOKUP:
             await self._handle_lookup(frame)
         elif frame.kind is MsgType.HEARTBEAT:
-            await self._reply(frame, {"seq": frame.payload.get("seq"), "from": self.addr})
+            await self._handle_heartbeat(frame)
         else:  # pragma: no cover - on_frame filters ACK/ERROR already
             raise ValueError(f"unroutable frame kind {frame.kind!r}")
 
@@ -176,6 +220,33 @@ class NodeProcess:
         dst = frame.payload.get("src")
         if dst is not None:
             await self.transport.send(self.addr, dst, frame.reply(payload, kind=kind))
+
+    async def _handle_heartbeat(self, frame: Frame) -> None:
+        """Answer a liveness probe; with ``relay`` set, probe on behalf.
+
+        A ``relay`` payload is SWIM's indirect ping-req: this node is a
+        witness, heartbeats the relay target itself, and reports in the
+        reply whether the target answered -- so a prober whose direct
+        path is down can still refute a suspicion through k witnesses.
+        Plain heartbeats keep the bare ``{"seq", "from"}`` reply shape.
+        """
+        payload = frame.payload
+        seq = payload.get("seq")
+        relay = payload.get("relay")
+        if relay is None:
+            await self._reply(frame, {"seq": seq, "from": self.addr})
+            return
+        timeout = payload.get("timeout", self.cluster.config.probe_timeout)
+        try:
+            await self.request(
+                relay, MsgType.HEARTBEAT, {"seq": seq}, timeout=timeout, retry=False
+            )
+            answered = True
+        except Exception:
+            answered = False
+        await self._reply(
+            frame, {"seq": seq, "from": self.addr, "relay": relay, "ok": answered}
+        )
 
     async def _handle_join(self, frame: Frame) -> None:
         """Admit a newcomer (bootstrap-node duty)."""

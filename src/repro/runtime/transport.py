@@ -30,7 +30,13 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.runtime.wire import Frame, FrameDecoder, decode_frame, encode_frame
+from repro.runtime.wire import (
+    Frame,
+    FrameDecoder,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
 
 
 class TransportError(Exception):
@@ -214,6 +220,11 @@ class TcpTransport(Transport):
                     await handler(frame)
         except (asyncio.CancelledError, ConnectionResetError):
             pass
+        except ProtocolError:
+            # a poisoned byte stream (bad magic, corrupt length, junk
+            # payload) kills only this connection -- the endpoint stays
+            # bound, and the peer's next connection gets a fresh decoder
+            self.dropped += 1
         finally:
             self._readers.discard(writer)
             writer.close()

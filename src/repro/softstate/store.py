@@ -21,6 +21,7 @@ publish/subscribe layer listens to these.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import math
 from dataclasses import dataclass
@@ -122,6 +123,9 @@ class SoftStateStore:
         self.registry: dict = {}
         #: node_id -> set of regions currently holding its record
         self._published: dict = {}
+        #: inside :meth:`bulk_load`: nodes whose republish-on-zone-change
+        #: is deferred to the context exit (None = normal operation)
+        self._deferred = None
         #: crashed host's node id -> [(region, node_id)] records whose
         #: primary copy died but a replica survived (recovery re-hosts)
         self._pending_rehost: dict = {}
@@ -145,7 +149,10 @@ class SoftStateStore:
         if event in ("zone_change", "leave"):
             self._reassign_hosted(node_id)
         if event == "zone_change" and node_id in self.registry:
-            self.publish(node_id)
+            if self._deferred is not None:
+                self._deferred.add(node_id)
+            else:
+                self.publish(node_id)
 
     def _attribution_drop(self, owner: int, region: Region, node_id: int) -> None:
         by_region = self._attributed.get(owner)
@@ -365,6 +372,36 @@ class SoftStateStore:
         if telemetry is not None and wanted:
             telemetry.emit("publish", n=len(wanted), node_id=node_id)
         return len(wanted)
+
+    @contextlib.contextmanager
+    def bulk_load(self):
+        """Defer republish-on-zone-change for a batched mass join.
+
+        Growing the overlay one join at a time republishes the split
+        owner's record on *every* zone change, so building N members
+        costs O(N) incremental republish cascades against intermediate
+        tessellations that are all about to be invalidated.  Inside
+        this context a zone change only marks the affected owner
+        dirty; on clean exit every dirty node still registered and
+        still a member publishes exactly once against the final
+        tessellation.  The position->owner index keeps updating
+        incrementally throughout, so reads inside the context stay
+        consistent with whatever *is* in the maps.  Yields the dirty
+        set -- callers add freshly registered nodes to it so their
+        first publish is batched too.  Does not nest.
+        """
+        if self._deferred is not None:
+            raise RuntimeError("bulk_load does not nest")
+        self._deferred = set()
+        try:
+            yield self._deferred
+            dirty, self._deferred = self._deferred, None
+            members = self.ecan.can.nodes
+            for node_id in sorted(dirty):
+                if node_id in self.registry and node_id in members:
+                    self.publish(node_id)
+        finally:
+            self._deferred = None
 
     def withdraw(self, node_id: int, charge: bool = True) -> int:
         """Remove the node's record from every map (proactive departure)."""
@@ -700,6 +737,36 @@ class SoftStateStore:
         assert reverse == total, (
             f"reverse index holds {reverse} attributions, maps hold {total}"
         )
+
+    def rebuild_owner_index(self) -> int:
+        """Recompute the position->owner index from scratch; return fixes.
+
+        The anti-entropy repair for an arbitrarily corrupted (poisoned)
+        index: both the forward and the reverse side are rebuilt from
+        the authoritative map contents against the live tessellation,
+        which restores the invariant :meth:`check_owner_index` asserts
+        no matter what state the index was left in.  Purely local
+        data-structure work, never charged.  Returns the number of
+        attributions that changed (or were dropped as orphans).
+        """
+        if not self.use_owner_index:
+            return 0
+        stale = self._owners
+        self._owners = {}
+        self._attributed = {}
+        owner_of = self.ecan.can.owner_of_point
+        changed = 0
+        for region, bucket in self.maps.items():
+            prior = stale.get(region, {})
+            for node_id, stored in bucket.items():
+                owner = owner_of(stored.position)
+                if prior.get(node_id) != owner:
+                    changed += 1
+                self._index_insert(region, node_id, owner)
+        for region, prior in stale.items():
+            bucket = self.maps.get(region, {})
+            changed += sum(1 for node_id in prior if node_id not in bucket)
+        return changed
 
     def total_entries(self) -> int:
         return sum(len(bucket) for bucket in self.maps.values())
