@@ -37,7 +37,9 @@ bench-smoke:
 # The live-runtime acceptance scenario: boot a 64-node cluster over
 # the loopback transport (joins travel as wire frames), drive 1000
 # open-loop lookups, and assert bit-identical owners/endpoints against
-# an independently built synchronous simulator.
+# an independently built synchronous simulator -- once per payload
+# encoding (JSON and packed), pinning the struct fast path to the
+# JSON semantics.
 runtime-smoke:
 	$(PYTHON) scripts/runtime_smoke.py
 

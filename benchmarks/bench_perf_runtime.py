@@ -1,12 +1,20 @@
-"""Live-runtime benchmark: boot, open-loop latency, and sim parity.
+"""Live-runtime benchmark: the nodes x concurrency x encoding sweep.
 
 Not a paper figure -- this records the performance trajectory of the
-asyncio runtime (``src/repro/runtime/``) in BENCH_ext.json: cluster
-boot wall time (topology-aware joins over the wire), open-loop lookup
-latency percentiles and achieved throughput from the load driver, and
-the parity verdict against the synchronous simulator.  One cell per
-(transport, size): loopback at two sizes plus real TCP sockets at 16
-nodes.
+asyncio runtime (``src/repro/runtime/``) in BENCH_ext.json.  Each
+cell boots a cluster and drives the load generator in one of its two
+modes over one of the two payload encodings:
+
+* **open loop** (``concurrency=0``): Poisson arrivals at a fixed
+  offered rate -- achieved throughput is capped by the schedule, so
+  these cells measure latency under a compliant load;
+* **closed loop** (``concurrency=N``): a worker pool holds N requests
+  in flight -- these cells measure capacity, which is where the
+  packed struct encoding and the run-to-completion actor pay off.
+
+Cells cover loopback at 16 and 64 nodes and real TCP sockets at 16
+nodes, each under both the JSON and packed payload encodings, with
+the sim-parity verdict recorded per cell.
 
 Correctness columns (``ops``, ``errors``, ``parity_checked``,
 ``parity_mismatches``) are deterministic per seed; every timing lives
@@ -24,28 +32,51 @@ from repro.core.config import NetworkParams, OverlayParams
 from repro.experiments import format_table
 from repro.runtime import Cluster, ClusterConfig, run_load
 
-#: (transport, nodes) cells; TCP stays small -- real sockets per node
-CELLS = (("loopback", 16), ("loopback", 64), ("tcp", 16))
+#: (transport, nodes, encoding, concurrency) cells; concurrency 0 is
+#: the open-loop Poisson mode at RATE; TCP stays small -- real
+#: sockets per node
+CELLS = (
+    ("loopback", 16, "json", 0),
+    ("loopback", 16, "packed", 64),
+    ("loopback", 64, "json", 0),
+    ("loopback", 64, "json", 64),
+    ("loopback", 64, "packed", 0),
+    ("loopback", 64, "packed", 64),
+    ("tcp", 16, "json", 32),
+    ("tcp", 16, "packed", 32),
+)
 
+#: request counts: open-loop cells replay the historical burst, the
+#: closed-loop cells need more requests to reach a steady state
 LOOKUPS = 256
+CLOSED_LOOKUPS = 2048
 RATE = 2000.0
 PARITY_LOOKUPS = 64
 PARITY_ROUTES = 32
 
 
-async def drive_cell(transport: str, nodes: int, seed: int = 0) -> dict:
+async def drive_cell(
+    transport: str, nodes: int, encoding: str, concurrency: int, seed: int = 0
+) -> dict:
     config = ClusterConfig(
         nodes=nodes,
         network=NetworkParams(topo_scale=0.25, seed=seed),
         overlay=OverlayParams(num_nodes=nodes, seed=seed),
         transport=transport,
+        wire_encoding=encoding,
     )
     cluster = Cluster(config)
     t0 = time.perf_counter()
     await cluster.start()
     boot_s = time.perf_counter() - t0
     try:
-        report = await run_load(cluster, rate=RATE, count=LOOKUPS, seed=seed)
+        report = await run_load(
+            cluster,
+            rate=RATE,
+            count=CLOSED_LOOKUPS if concurrency else LOOKUPS,
+            seed=seed,
+            concurrency=concurrency,
+        )
         verdict = await cluster.verify_against_sim(
             lookups=PARITY_LOOKUPS, routes=PARITY_ROUTES, seed=seed
         )
@@ -55,6 +86,9 @@ async def drive_cell(transport: str, nodes: int, seed: int = 0) -> dict:
     return {
         "transport": transport,
         "nodes": nodes,
+        "encoding": encoding,
+        "mode": report.mode,
+        "concurrency": concurrency,
         "ops": report.ops,
         "errors": report.errors,
         "parity_checked": verdict["checked"],
@@ -68,18 +102,16 @@ async def drive_cell(transport: str, nodes: int, seed: int = 0) -> dict:
 
 
 def bench_perf_runtime(benchmark):
-    rows = [
-        asyncio.run(drive_cell(transport, nodes))
-        for transport, nodes in CELLS
-    ]
+    rows = [asyncio.run(drive_cell(*cell)) for cell in CELLS]
     emit(
         "ext_perf_runtime",
-        "Live runtime: boot, open-loop lookup latency, sim parity",
+        "Live runtime sweep: nodes x concurrency x encoding, sim parity",
         format_table(rows),
         rows=rows,
         params={
             "cells": [list(cell) for cell in CELLS],
             "lookups": LOOKUPS,
+            "closed_lookups": CLOSED_LOOKUPS,
             "rate": RATE,
             "parity_lookups": PARITY_LOOKUPS,
             "parity_routes": PARITY_ROUTES,
@@ -101,4 +133,16 @@ def bench_perf_runtime(benchmark):
 
     assert all(row["errors"] == 0 for row in rows), rows
     assert all(row["parity_mismatches"] == 0 for row in rows), rows
-    assert all(row["ops"] == LOOKUPS for row in rows)
+    assert all(
+        row["ops"] == (CLOSED_LOOKUPS if row["concurrency"] else LOOKUPS)
+        for row in rows
+    )
+    # the closed-loop packed cells must clear the open-loop ceiling:
+    # a regression that re-pins the runtime to the arrival schedule
+    # (or a codec fallback to JSON-everywhere) should fail loudly
+    by_cell = {
+        (r["transport"], r["nodes"], r["encoding"], r["concurrency"]): r
+        for r in rows
+    }
+    fast = by_cell[("loopback", 64, "packed", 64)]
+    assert fast["wall_throughput_ops"] > RATE, fast

@@ -1,7 +1,8 @@
-"""Runtime smoke: 64-node loopback cluster, 1k lookups, sim parity.
+"""Runtime smoke: 64-node loopback cluster, lookups, sim parity.
 
 The acceptance scenario for the live asyncio runtime
-(``src/repro/runtime/``), run by ``make runtime-smoke`` and CI:
+(``src/repro/runtime/``), run by ``make runtime-smoke`` and CI --
+once per payload encoding (JSON and packed):
 
 * boot a 64-node cluster over the loopback transport, every member
   after the seed joining topology-aware *over the wire* (JOIN frames
@@ -13,12 +14,17 @@ The acceptance scenario for the live asyncio runtime
   bit-identical owners and route endpoints -- the live runtime must be
   a faithful execution of the model, not an approximation of it.
 
+Running the identical scenario under both encodings pins the packed
+struct fast path to the JSON semantics: a packed frame that decoded
+to anything but the JSON payload would break parity immediately.
+
 Exits non-zero on any error or parity mismatch.
 
 Usage::
 
     python scripts/runtime_smoke.py                # 64 nodes, 1000 lookups
     python scripts/runtime_smoke.py --nodes 32 --lookups 200
+    python scripts/runtime_smoke.py --encoding packed   # one encoding only
 """
 
 from __future__ import annotations
@@ -35,15 +41,21 @@ from repro.core.config import NetworkParams, OverlayParams  # noqa: E402
 from repro.runtime import Cluster, ClusterConfig, run_load  # noqa: E402
 
 
-async def smoke(nodes: int, lookups: int, rate: float, seed: int) -> int:
+async def smoke(
+    nodes: int, lookups: int, rate: float, seed: int, encoding: str
+) -> int:
     config = ClusterConfig(
         nodes=nodes,
         network=NetworkParams(topo_scale=0.25, seed=seed),
         overlay=OverlayParams(num_nodes=nodes, seed=seed),
         transport="loopback",
+        wire_encoding=encoding,
     )
     async with Cluster(config) as cluster:
-        print(f"booted {len(cluster)} nodes over {cluster.transport.kind}")
+        print(
+            f"booted {len(cluster)} nodes over {cluster.transport.kind} "
+            f"({encoding} frames)"
+        )
         report = await run_load(cluster, rate=rate, count=lookups, seed=seed)
         pct = report.percentiles()
         print(
@@ -66,9 +78,9 @@ async def smoke(nodes: int, lookups: int, rate: float, seed: int) -> int:
     if not verdict["ok"]:
         failures.append(f"{verdict['mismatches']} parity mismatches")
     if failures:
-        print("FAIL: " + "; ".join(failures))
+        print(f"FAIL ({encoding}): " + "; ".join(failures))
         return 1
-    print("runtime smoke OK")
+    print(f"runtime smoke OK ({encoding})")
     return 0
 
 
@@ -78,8 +90,22 @@ def main(argv=None) -> int:
     parser.add_argument("--lookups", type=int, default=1000)
     parser.add_argument("--rate", type=float, default=2000.0)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--encoding",
+        choices=["json", "packed", "both"],
+        default="both",
+        help="payload encoding(s) to smoke (default both)",
+    )
     args = parser.parse_args(argv)
-    return asyncio.run(smoke(args.nodes, args.lookups, args.rate, args.seed))
+    encodings = (
+        ("json", "packed") if args.encoding == "both" else (args.encoding,)
+    )
+    status = 0
+    for encoding in encodings:
+        status |= asyncio.run(
+            smoke(args.nodes, args.lookups, args.rate, args.seed, encoding)
+        )
+    return status
 
 
 if __name__ == "__main__":

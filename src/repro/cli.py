@@ -138,6 +138,24 @@ def cmd_quickstart(_args) -> int:
     return 0
 
 
+def _install_uvloop() -> bool:
+    """Switch the asyncio policy to uvloop when available.
+
+    The container may not ship uvloop; the switch is best-effort and
+    the stdlib event loop remains the (fully supported) fallback.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        print(
+            "uvloop not installed; continuing on the stdlib event loop",
+            file=sys.stderr,
+        )
+        return False
+    uvloop.install()
+    return True
+
+
 def cmd_cluster(args) -> int:
     """Boot a live cluster, drive lookups, print latency + parity."""
     import asyncio
@@ -145,6 +163,8 @@ def cmd_cluster(args) -> int:
     from repro.core.config import NetworkParams, OverlayParams
     from repro.runtime import Cluster, ClusterConfig, run_load
 
+    if args.uvloop:
+        _install_uvloop()
     retry = None
     if args.retries > 1:
         from repro.core.reliability import RetryPolicy
@@ -155,6 +175,7 @@ def cmd_cluster(args) -> int:
         network=NetworkParams(topo_scale=args.topo_scale, seed=args.seed),
         overlay=OverlayParams(num_nodes=args.nodes, seed=args.seed),
         transport=args.transport,
+        wire_encoding=args.encoding,
         latency_scale=args.latency_scale,
         request_timeout=args.request_timeout,
         heartbeat_period=args.heartbeat_period,
@@ -168,7 +189,11 @@ def cmd_cluster(args) -> int:
         await cluster.start()
         try:
             report = await run_load(
-                cluster, rate=args.rate, count=args.lookups, seed=args.seed
+                cluster,
+                rate=args.rate,
+                count=args.lookups,
+                seed=args.seed,
+                concurrency=args.concurrency,
             )
             verdict = None
             if not args.bulk_boot:
@@ -184,9 +209,14 @@ def cmd_cluster(args) -> int:
 
     report, verdict = asyncio.run(drive())
     pct = report.percentiles()
+    offered = (
+        f"closed loop, {report.concurrency} in flight"
+        if report.mode == "closed"
+        else f"open loop at {args.rate:.0f}/s"
+    )
     print(
-        f"cluster: {args.nodes} nodes over {args.transport}, "
-        f"{report.ops} lookups at {args.rate:.0f}/s"
+        f"cluster: {args.nodes} nodes over {args.transport} "
+        f"({args.encoding} frames), {report.ops} lookups, {offered}"
     )
     print(
         f"latency: p50 {pct['p50']:.3f} ms | p99 {pct['p99']:.3f} ms | "
@@ -259,6 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["loopback", "tcp"],
         default="loopback",
         help="wire transport (default loopback)",
+    )
+    cluster.add_argument(
+        "--encoding",
+        choices=["packed", "json"],
+        default="packed",
+        help="frame payload encoding: struct fast path or JSON-only "
+        "(default packed)",
+    )
+    cluster.add_argument(
+        "--concurrency",
+        type=int,
+        default=0,
+        metavar="N",
+        help="closed-loop worker pool holding N requests in flight; "
+        "0 keeps the open-loop Poisson schedule (default 0)",
+    )
+    cluster.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="install the uvloop event-loop policy when available "
+        "(falls back to the stdlib loop with a note)",
     )
     cluster.add_argument(
         "--latency-scale",

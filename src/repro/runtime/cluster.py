@@ -48,6 +48,9 @@ class ClusterConfig:
     overlay: OverlayParams = field(default_factory=OverlayParams)
     #: "loopback" or "tcp"
     transport: str = "loopback"
+    #: frame payload encoding: "packed" (struct fast path for ROUTE/
+    #: LOOKUP/ACK, JSON fallback elsewhere) or "json" (everything)
+    wire_encoding: str = "packed"
     #: wall seconds per simulated ms of one-way latency (0 = no shaping)
     latency_scale: float = 0.0
     #: optional :class:`~repro.netsim.faults.FaultPlan` applied at the
@@ -99,6 +102,7 @@ class Cluster:
             oracle=self.network.oracle,
             latency_scale=config.latency_scale,
             faults=faults,
+            encoding=config.wire_encoding,
         )
         #: node id -> NodeProcess, in join order
         self.actors: dict = {}

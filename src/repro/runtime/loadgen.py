@@ -1,18 +1,27 @@
-"""Open-loop load driver for live clusters.
+"""Load driver for live clusters: open-loop Poisson or closed-loop pool.
 
 Replays :mod:`repro.workloads.generator` traffic against a running
-:class:`~repro.runtime.cluster.Cluster` at a configured Poisson
-arrival rate.  *Open-loop* means each request fires at its scheduled
-arrival time regardless of whether earlier requests finished -- the
-model that exposes queueing collapse, unlike closed-loop drivers
-whose offered load self-throttles.
+:class:`~repro.runtime.cluster.Cluster` in one of two modes:
 
-The driver records per-request wall latency, latency percentiles
-(p50/p95/p99), achieved throughput and error counts.  Deterministic
-facts (operations, errors, per-op owners) go into the network's
-telemetry counters; wall-clock durations are reported under
-``wall``-prefixed keys only, matching the bench layer's determinism
-contract (see ``benchmarks/_common``).
+* **open loop** (``concurrency=0``, the default): each request fires
+  at its scheduled Poisson arrival time regardless of whether earlier
+  requests finished -- the model that exposes queueing collapse,
+  because offered load does not self-throttle;
+* **closed loop** (``concurrency=N``): a pool of N workers keeps
+  exactly N requests in flight, each worker issuing its next request
+  the moment the previous one completes.  Offered load is whatever
+  the system can absorb -- the mode that measures capacity instead of
+  compliance with an arrival schedule.
+
+The driver records per-request wall latency, success-only latency
+percentiles (p50/p95/p99), a separate error-latency summary (timed
+out or failed requests spend their timeout on the clock -- folding
+them into the success percentiles would smear a latency cliff into
+the p99), achieved throughput and error counts.  Deterministic facts
+(operations, errors, per-op owners) go into the network's telemetry
+counters; wall-clock durations are reported under ``wall``-prefixed
+keys only, matching the bench layer's determinism contract (see
+``benchmarks/_common``).
 """
 
 from __future__ import annotations
@@ -37,14 +46,20 @@ def latency_percentiles(latencies_ms) -> dict:
 
 @dataclass
 class LoadReport:
-    """Outcome of one open-loop run."""
+    """Outcome of one load run (open- or closed-loop)."""
 
     ops: int
     errors: int
-    #: per-request wall latency, ms, in completion order
+    #: wall latency of each *successful* request, ms, completion order
     latencies_ms: list = field(default_factory=list)
-    #: offered arrival rate (requests/second)
+    #: wall latency of each errored/timed-out request, ms
+    error_latencies_ms: list = field(default_factory=list)
+    #: offered arrival rate (requests/second; 0 in closed-loop mode)
     offered_rate: float = 0.0
+    #: "open" (Poisson schedule) or "closed" (worker pool)
+    mode: str = "open"
+    #: in-flight request budget of the closed-loop pool (0 when open)
+    concurrency: int = 0
     #: wall seconds from first arrival to last completion
     wall_duration_s: float = 0.0
     #: request attempts resent under the cluster's retry policy
@@ -64,25 +79,55 @@ class LoadReport:
         return self.succeeded / self.wall_duration_s
 
     def percentiles(self) -> dict:
+        """Success-only latency percentiles (errors summarized apart)."""
         return latency_percentiles(self.latencies_ms)
+
+    def error_percentiles(self) -> dict:
+        """Percentiles of the errored requests' wall latencies."""
+        return latency_percentiles(self.error_latencies_ms)
 
     def summary(self) -> dict:
         """Flat report; wall-derived numbers under ``wall*`` keys only."""
         pct = self.percentiles()
+        err = self.error_percentiles()
         return {
             "ops": self.ops,
             "errors": self.errors,
+            "mode": self.mode,
+            "concurrency": self.concurrency,
             "offered_rate": self.offered_rate,
             "wall_duration_s": self.wall_duration_s,
             "wall_throughput_ops": self.achieved_rate,
             "wall_p50_ms": pct["p50"],
             "wall_p95_ms": pct["p95"],
             "wall_p99_ms": pct["p99"],
+            # errored requests report their own latency spectrum -- a
+            # timeout cliff must not masquerade as a success percentile
+            "wall_error_p50_ms": err["p50"],
+            "wall_error_p99_ms": err["p99"],
             # retry counts depend on wall-clock races (which attempts
             # time out), so they live under the wall contract too
             "wall_retries": self.retries,
             "wall_backoff_ms": self.backoff_ms,
         }
+
+
+def _build_requests(cluster, op: str, count: int, rng) -> list:
+    ids = np.array(cluster.node_ids)
+    dims = cluster.overlay.ecan.dims
+    if op == "lookup":
+        sources = rng.choice(ids, size=count)
+        points = uniform_points(count, dims, rng)
+        return [
+            (int(sources[i]), tuple(float(x) for x in points[i]))
+            for i in range(count)
+        ]
+    if op == "route":
+        return [
+            tuple(int(x) for x in rng.choice(ids, size=2, replace=False))
+            for _ in range(count)
+        ]
+    raise ValueError(f"unknown op {op!r} (want 'lookup' or 'route')")
 
 
 async def run_load(
@@ -91,47 +136,41 @@ async def run_load(
     count: int,
     seed: int = 0,
     op: str = "lookup",
+    concurrency: int = 0,
 ) -> LoadReport:
-    """Drive ``count`` requests at ``rate``/s against ``cluster``.
+    """Drive ``count`` requests against ``cluster``.
 
     ``op`` selects the request mix: ``"lookup"`` routes uniform keys
     from random members to their owners; ``"route"`` routes between
     random member pairs.  The workload is a pure function of ``seed``,
     so the same run can be replayed on the synchronous simulator for
     parity checks.
+
+    With ``concurrency=0`` requests fire open-loop at Poisson arrival
+    times drawn for ``rate``/s.  With ``concurrency=N > 0`` a pool of
+    N workers holds N requests in flight (closed loop); ``rate`` is
+    ignored for scheduling and the report's ``offered_rate`` is 0.
     """
     rng = np.random.default_rng(seed)
-    arrivals = poisson_arrivals(rate, count, rng)
-    ids = np.array(cluster.node_ids)
-    dims = cluster.overlay.ecan.dims
-    if op == "lookup":
-        sources = rng.choice(ids, size=count)
-        points = uniform_points(count, dims, rng)
-        requests = [
-            (int(sources[i]), tuple(float(x) for x in points[i]))
-            for i in range(count)
-        ]
-    elif op == "route":
-        requests = [
-            tuple(int(x) for x in rng.choice(ids, size=2, replace=False))
-            for _ in range(count)
-        ]
-    else:
-        raise ValueError(f"unknown op {op!r} (want 'lookup' or 'route')")
+    closed = concurrency > 0
+    arrivals = None if closed else poisson_arrivals(rate, count, rng)
+    requests = _build_requests(cluster, op, count, rng)
 
     loop = asyncio.get_running_loop()
-    start_time = loop.time()
-    report = LoadReport(ops=count, errors=0, offered_rate=float(rate))
+    report = LoadReport(
+        ops=count,
+        errors=0,
+        offered_rate=0.0 if closed else float(rate),
+        mode="closed" if closed else "open",
+        concurrency=int(concurrency) if closed else 0,
+    )
     # the shared policy instance carries cluster-wide accounting;
     # snapshot so the report charges only this run's resends
     policy = getattr(cluster.config, "retry", None)
     retries_before = 0 if policy is None else policy.retries
     backoff_before = 0.0 if policy is None else policy.backoff_slept_ms
 
-    async def fire(index: int) -> None:
-        delay = start_time + float(arrivals[index]) - loop.time()
-        if delay > 0.0:
-            await asyncio.sleep(delay)
+    async def issue(index: int) -> None:
         began = time.perf_counter()
         try:
             if op == "lookup":
@@ -142,11 +181,32 @@ async def run_load(
                 await cluster.route(source, dest)
         except Exception:
             report.errors += 1
-        finally:
+            report.error_latencies_ms.append(
+                (time.perf_counter() - began) * 1000.0
+            )
+        else:
             report.latencies_ms.append((time.perf_counter() - began) * 1000.0)
 
+    start_time = loop.time()
+
+    async def fire(index: int) -> None:
+        delay = start_time + float(arrivals[index]) - loop.time()
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        await issue(index)
+
+    async def worker(indices) -> None:
+        for index in indices:  # shared iterator: each worker pulls the next
+            await issue(index)
+
     wall_began = time.perf_counter()
-    await asyncio.gather(*(fire(i) for i in range(count)))
+    if closed:
+        indices = iter(range(count))
+        await asyncio.gather(
+            *(worker(indices) for _ in range(min(concurrency, count)))
+        )
+    else:
+        await asyncio.gather(*(fire(i) for i in range(count)))
     report.wall_duration_s = time.perf_counter() - wall_began
     if policy is not None:
         report.retries = int(policy.retries - retries_before)

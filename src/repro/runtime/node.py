@@ -1,12 +1,22 @@
-"""One overlay member as an async actor behind a mailbox.
+"""One overlay member as a run-to-completion async actor.
 
 A :class:`NodeProcess` owns an address on the transport, a FIFO
-mailbox, and (once joined) an overlay node id.  Its run loop drains
-the mailbox one frame at a time, so all overlay-state access from a
-node is serialized -- the actor model's usual guarantee.  Responses
+mailbox, and (once joined) an overlay node id.  Frames dispatch one
+at a time in mailbox order, so all overlay-state access from a node
+is serialized -- the actor model's usual guarantee.  Responses
 (ACK / ERROR) bypass the mailbox and resolve the pending request
 future directly: a node awaiting a reply never deadlocks behind its
 own queue.
+
+Dispatch is *run-to-completion*: an idle actor drains its mailbox
+inline on the delivering task's stack instead of waking a dedicated
+run-loop task, which removes an event-loop round trip from every hop
+on the routing hot path.  A busy actor (``_draining``) just enqueues
+-- the active drain picks the frame up, preserving serialization.
+Deep loopback chains (each inline hop nests the Python stack) spill
+to a scheduled drain task past :attr:`NodeProcess.MAX_INLINE_DEPTH`
+so a pathological ``max_hops``-length route cannot overflow the
+interpreter's recursion limit.
 
 Routing is hop-by-hop over the wire: each actor makes exactly one
 forwarding decision (:meth:`EcanOverlay.next_hop`, the fault-free
@@ -21,9 +31,15 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+from collections import deque
 
 from repro.runtime.transport import TransportError
 from repro.runtime.wire import Frame, MsgType
+from repro.softstate.maps import Region
+
+
+#: kind -> kind.name (enum ``.name`` is a descriptor; skip it per frame)
+_KIND_NAME = {member: member.name for member in MsgType}
 
 
 class RemoteError(Exception):
@@ -43,11 +59,12 @@ class NodeProcess:
         #: overlay node id (int) once a member
         self.addr = addr
         self.host = host
-        self.mailbox: asyncio.Queue = asyncio.Queue()
+        self.mailbox: deque = deque()
         #: request_id -> Future awaiting an ACK/ERROR
         self.pending: dict = {}
         self._req_ids = itertools.count(1)
-        self._task = None
+        self._draining = False
+        self._stopped = True
         #: frames this actor processed, by kind name (diagnostics)
         self.handled: dict = {}
         #: request attempts this actor resent under its retry policy
@@ -65,17 +82,15 @@ class NodeProcess:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        self._stopped = False
         await self.transport.bind(self.addr, self.on_frame, host=self.host)
-        self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
-            self._task = None
+        # an in-flight drain (running on whichever task delivered the
+        # frame) halts before its next dispatch; queued frames drop,
+        # matching the old cancel-the-run-loop semantics
+        self._stopped = True
+        self.mailbox.clear()
         await self.transport.unbind(self.addr)
         # fail pending requests rather than cancelling them: a
         # CancelledError is a BaseException and would tear straight
@@ -98,6 +113,12 @@ class NodeProcess:
 
     # -- frame plumbing ----------------------------------------------------
 
+    #: inline loopback chains nested deeper than this (one level per
+    #: actor handing off to the next) spill to a scheduled drain task,
+    #: keeping a max_hops-length route clear of the recursion limit
+    MAX_INLINE_DEPTH = 64
+    _inline_depth = 0
+
     async def on_frame(self, frame: Frame) -> None:
         """Transport delivery callback."""
         if frame.kind in (MsgType.ACK, MsgType.ERROR):
@@ -110,23 +131,52 @@ class NodeProcess:
                 else:
                     future.set_result(frame.payload)
             return
-        await self.mailbox.put(frame)
+        self.mailbox.append(frame)
+        if self._draining or self._stopped:
+            return  # the active drain picks it up / actor is gone
+        if NodeProcess._inline_depth < self.MAX_INLINE_DEPTH:
+            await self._drain()
+        else:
+            asyncio.get_running_loop().create_task(self._drain())
 
-    async def _run(self) -> None:
-        while True:
-            frame = await self.mailbox.get()
-            name = frame.kind.name
-            self.handled[name] = self.handled.get(name, 0) + 1
-            try:
-                await self._dispatch(frame)
-            except Exception as exc:  # answer rather than kill the actor
-                src = frame.payload.get("src")
-                if src is not None:
-                    await self.transport.send(
-                        self.addr,
-                        src,
-                        frame.reply({"error": repr(exc)}, kind=MsgType.ERROR),
+    #: dispatch-error reprs kept per actor before truncation
+    MAX_ERROR_REPRS = 16
+
+    async def _drain(self) -> None:
+        if self._draining:  # single-threaded loop: check-and-set is atomic
+            return
+        self._draining = True
+        NodeProcess._inline_depth += 1
+        try:
+            while self.mailbox and not self._stopped:
+                frame = self.mailbox.popleft()
+                name = _KIND_NAME[frame.kind]
+                self.handled[name] = self.handled.get(name, 0) + 1
+                try:
+                    await self._dispatch(frame)
+                except Exception as exc:  # answer rather than kill the actor
+                    # a srcless frame has nobody to bounce the ERROR to,
+                    # so without this accounting the failure would vanish
+                    # until the requester's timeout: count every dispatch
+                    # error and keep the repr visible in the diagnostics
+                    self.cluster.network.telemetry.bump(
+                        "runtime_dispatch_error"
                     )
+                    errors = self.handled.setdefault("dispatch_errors", [])
+                    if len(errors) < self.MAX_ERROR_REPRS:
+                        errors.append(f"{name}: {exc!r}")
+                    src = frame.payload.get("src")
+                    if src is not None:
+                        await self.transport.send(
+                            self.addr,
+                            src,
+                            frame.reply(
+                                {"error": repr(exc)}, kind=MsgType.ERROR
+                            ),
+                        )
+        finally:
+            NodeProcess._inline_depth -= 1
+            self._draining = False
 
     async def request(
         self, dst, kind: MsgType, payload: dict, timeout=None, retry=None
@@ -164,18 +214,31 @@ class NodeProcess:
             timeout = self.cluster.config.request_timeout
         request_id = next(self._req_ids)
         future = asyncio.get_running_loop().create_future()
+        self.pending[request_id] = future
+        frame = Frame(kind, request_id, {**payload, "src": self.addr})
+        if dst == self.addr:
+            # a self-addressed frame never crosses a network in any
+            # real deployment, so it skips the transport (and its
+            # codec round trip, faults, and shaping) and dispatches
+            # straight off the mailbox; the payload built above is
+            # this frame's private copy, as a decode would guarantee
+            await self.on_frame(frame)
+        else:
+            sent = await self.transport.send(self.addr, dst, frame)
+            if not sent:
+                self.pending.pop(request_id, None)
+                raise TransportError(f"frame to {dst!r} was not sent")
+        if future.done():
+            # run-to-completion dispatch often resolves the future
+            # inside send(); skip wait_for's timer setup entirely
+            return future.result()
         # a crash may fail this future after its awaiter timed out and
         # moved on; retrieve defensively so no "exception was never
-        # retrieved" noise outlives the actor
+        # retrieved" noise outlives the actor (a future consumed on
+        # the fast path above never needs the callback)
         future.add_done_callback(
             lambda f: None if f.cancelled() else f.exception()
         )
-        self.pending[request_id] = future
-        frame = Frame(kind, request_id, {**payload, "src": self.addr})
-        sent = await self.transport.send(self.addr, dst, frame)
-        if not sent:
-            self.pending.pop(request_id, None)
-            raise TransportError(f"frame to {dst!r} was not sent")
         try:
             return await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
@@ -190,8 +253,9 @@ class NodeProcess:
         """Route ``point`` over the wire from this node; returns the ACK.
 
         The first forwarding decision runs through the same machinery
-        as every later hop: the ROUTE frame is sent to *this* node's
-        own endpoint and dispatched from the mailbox.
+        as every later hop: the ROUTE frame is addressed to *this*
+        node and dispatched from its own mailbox (delivered locally --
+        a self-send never touches the wire).
         """
         return await self.request(
             self.addr,
@@ -261,17 +325,23 @@ class NodeProcess:
         """Serve a soft-state map read from this node's shard."""
         await self._reply(frame, await self._serve_map_read(frame.payload))
 
+    #: forwarding-kind -> message-stats counter (saves an f-string per hop)
+    _HOP_STAT = {"can": "runtime_can_hop", "expressway": "runtime_expressway_hop"}
+
     async def _handle_route(self, frame: Frame) -> None:
+        # hot path: `payload` is this frame's private decoded dict, so
+        # the forward below may mutate it in place, and `path` rides
+        # through next_hop as the visited collection (membership only)
         payload = frame.payload
-        point = tuple(payload["point"])
-        path = list(payload["path"])
-        overlay = self.cluster.overlay
-        next_id, kind = overlay.ecan.next_hop(
-            self.node_id, point, visited=frozenset(path)
+        path = payload["path"]
+        cluster = self.cluster
+        node_id = self.node_id
+        next_id, kind = cluster.overlay.ecan.next_hop(
+            node_id, payload["point"], visited=path
         )
         if kind == "delivered":
             result = {
-                "owner": self.node_id,
+                "owner": node_id,
                 "path": path,
                 "hops": len(path) - 1,
             }
@@ -281,19 +351,18 @@ class NodeProcess:
                 result.update(lookup)
             await self._reply(frame, result)
             return
-        if next_id is None or len(path) > self.cluster.config.max_hops:
+        if next_id is None or len(path) > cluster.config.max_hops:
             await self._reply(
                 frame,
                 {"error": f"route stuck after {len(path) - 1} hops", "path": path},
                 kind=MsgType.ERROR,
             )
             return
-        network = self.cluster.network
-        network.stats.count(f"runtime_{kind}_hop")
+        network = cluster.network
+        network.stats.count(self._HOP_STAT[kind])
         network.telemetry.bump("runtime_hop")
-        forwarded = Frame(
-            MsgType.ROUTE, frame.request_id, {**payload, "path": path + [next_id]}
-        )
+        payload["path"] = path + [next_id]
+        forwarded = Frame(MsgType.ROUTE, frame.request_id, payload)
         sent = await self.transport.send(self.addr, next_id, forwarded)
         if not sent:
             await self._reply(
@@ -303,8 +372,6 @@ class NodeProcess:
             )
 
     async def _serve_map_read(self, payload: dict) -> dict:
-        from repro.softstate.maps import Region
-
         store = self.cluster.overlay.store
         region = Region(
             int(payload["level"]), tuple(int(c) for c in payload["cell"])

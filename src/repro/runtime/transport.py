@@ -8,6 +8,10 @@ share the same contract:
   is an async callable receiving each delivered :class:`Frame`;
 * ``send(src, dst, frame)`` is fire-and-forget: it returns once the
   frame is *in flight* (True) or known undeliverable (False);
+* **payload encoding** -- ``encoding="packed"`` selects the struct
+  fast path of :mod:`repro.runtime.wire` for hot frame kinds (JSON
+  stays the automatic fallback for everything else), ``"json"`` keeps
+  every payload as JSON; both decode to identical payload dicts;
 * **latency shaping** -- when built with a
   :class:`~repro.netsim.distance.DistanceOracle` and a
   ``latency_scale``, each frame is delayed by the one-way latency
@@ -20,10 +24,16 @@ share the same contract:
 
 :class:`LoopbackTransport` stays in-process (frames still round-trip
 through the binary codec, so the wire format is exercised on every
-test) and is deterministic and fast.  :class:`TcpTransport` runs one
-``asyncio.start_server`` per endpoint on localhost and speaks the
-length-prefixed protocol over real sockets; endpoints may live in
-different processes as long as they share the address book.
+test) and is deterministic and fast; unshaped frames are delivered
+inline from ``send`` rather than through a spawned task, so the hot
+path costs a codec round-trip and a mailbox put -- no scheduler hop.
+:class:`TcpTransport` runs one ``asyncio.start_server`` per endpoint
+on localhost and speaks the length-prefixed protocol over real
+sockets; endpoints may live in different processes as long as they
+share the address book.  Unshaped TCP sends coalesce: frames queue in
+a per-destination outbox and one flusher task writes the whole batch
+and awaits ``drain()`` once per flush -- explicit backpressure without
+a syscall-and-drain per frame.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.runtime.wire import (
     ProtocolError,
     decode_frame,
     encode_frame,
+    roundtrip_payload,
 )
 
 
@@ -44,12 +55,19 @@ class TransportError(Exception):
 
 
 class Transport:
-    """Shared plumbing: endpoint registry, latency shaping, faults."""
+    """Shared plumbing: endpoint registry, encoding, shaping, faults."""
 
     #: short name used by :func:`make_transport` and reports
     kind = "base"
 
-    def __init__(self, oracle=None, latency_scale: float = 0.0, faults=None):
+    def __init__(
+        self, oracle=None, latency_scale: float = 0.0, faults=None,
+        encoding: str = "json",
+    ):
+        if encoding not in ("json", "packed"):
+            raise ValueError(
+                f"unknown wire encoding {encoding!r} (want 'json' or 'packed')"
+            )
         #: :class:`DistanceOracle` driving per-frame delays (or None)
         self.oracle = oracle
         #: wall seconds of delay per simulated millisecond of one-way
@@ -57,6 +75,9 @@ class Transport:
         self.latency_scale = float(latency_scale)
         #: armed :class:`FaultInjector` deciding drops (or None)
         self.faults = faults
+        #: payload encoding: "json" or "packed" (struct fast path)
+        self.encoding = encoding
+        self._packed = encoding == "packed"
         #: addr -> physical host id, for shaping and fault decisions
         self.hosts: dict = {}
         self.sent = 0
@@ -120,8 +141,11 @@ class LoopbackTransport(Transport):
 
     kind = "loopback"
 
-    def __init__(self, oracle=None, latency_scale: float = 0.0, faults=None):
-        super().__init__(oracle, latency_scale, faults)
+    def __init__(
+        self, oracle=None, latency_scale: float = 0.0, faults=None,
+        encoding: str = "json",
+    ):
+        super().__init__(oracle, latency_scale, faults, encoding)
         self._handlers: dict = {}
 
     async def bind(self, addr, handler, host: int = None) -> None:
@@ -139,16 +163,30 @@ class LoopbackTransport(Transport):
         if self._closed:
             raise TransportError("transport is closed")
         self.sent += 1
-        # round-trip through the binary codec so loopback runs exercise
-        # exactly the bytes TCP would carry
-        frame = decode_frame(encode_frame(frame))
+        # round-trip the payload through the codec so loopback runs
+        # carry exactly what TCP would decode (the fixed 16-byte
+        # header needs no such fidelity check per frame)
+        frame = Frame(
+            frame.kind,
+            frame.request_id,
+            roundtrip_payload(frame.kind, frame.payload, self._packed),
+        )
         if self.drops(src, dst):
             self.dropped += 1
             return False
-        if dst not in self._handlers:
+        handler = self._handlers.get(dst)
+        if handler is None:
             self.dropped += 1
             return False
         delay = self.delay_for(src, dst)
+        if delay <= 0.0:
+            # unshaped fast path: deliver inline -- the handler only
+            # enqueues (mailbox put / future resolution), so this never
+            # blocks and saves a task spawn plus a scheduler round-trip
+            # per frame
+            self.delivered += 1
+            await handler(frame)
+            return True
         self._spawn(self._deliver(dst, frame, delay))
         return True
 
@@ -173,9 +211,10 @@ class TcpTransport(Transport):
         oracle=None,
         latency_scale: float = 0.0,
         faults=None,
+        encoding: str = "json",
         interface: str = "127.0.0.1",
     ):
-        super().__init__(oracle, latency_scale, faults)
+        super().__init__(oracle, latency_scale, faults, encoding)
         self.interface = interface
         self._servers: dict = {}
         #: address book: addr -> (interface, port)
@@ -183,6 +222,9 @@ class TcpTransport(Transport):
         self._writers: dict = {}
         self._writer_locks: dict = {}
         self._readers: set = set()
+        #: dst -> list of encoded frames awaiting the flusher; the key's
+        #: presence doubles as "a flusher task owns this destination"
+        self._outbox: dict = {}
 
     async def bind(self, addr, handler, host: int = None) -> None:
         if addr in self._servers:
@@ -197,14 +239,25 @@ class TcpTransport(Transport):
         self.endpoints[addr] = (self.interface, port)
         if host is not None:
             self.hosts[addr] = int(host)
+        # a rebind hands the address a fresh port, so a cached writer
+        # still points at the old (dying) endpoint and would black-hole
+        # every frame until it noticed the close -- invalidate eagerly
+        self._discard_writer(addr)
 
     async def unbind(self, addr) -> None:
         server = self._servers.pop(addr, None)
         self.endpoints.pop(addr, None)
         self.hosts.pop(addr, None)
+        self._discard_writer(addr)
         if server is not None:
             server.close()
             await server.wait_closed()
+
+    def _discard_writer(self, dst) -> None:
+        """Drop (and actually close) the cached connection to ``dst``."""
+        writer = self._writers.pop(dst, None)
+        if writer is not None:
+            writer.close()
 
     async def _serve(self, handler, reader, writer) -> None:
         """One accepted connection: reassemble frames, dispatch each."""
@@ -233,8 +286,13 @@ class TcpTransport(Transport):
         lock = self._writer_locks.setdefault(dst, asyncio.Lock())
         async with lock:
             writer = self._writers.get(dst)
-            if writer is not None and not writer.is_closing():
-                return writer
+            if writer is not None:
+                if not writer.is_closing():
+                    return writer
+                # close the moribund connection for real instead of
+                # letting the overwritten writer leak its socket
+                self._writers.pop(dst, None)
+                writer.close()
             endpoint = self.endpoints.get(dst)
             if endpoint is None:
                 raise TransportError(f"no endpoint bound for {dst!r}")
@@ -255,9 +313,39 @@ class TcpTransport(Transport):
         if dst not in self.endpoints:
             self.dropped += 1
             return False
-        data = encode_frame(frame)
-        self._spawn(self._write(dst, data, self.delay_for(src, dst)))
+        data = encode_frame(frame, packed=self._packed)
+        delay = self.delay_for(src, dst)
+        if delay > 0.0:
+            # shaped frames keep their individual departure times
+            self._spawn(self._write(dst, data, delay))
+            return True
+        batch = self._outbox.get(dst)
+        if batch is None:
+            self._outbox[dst] = [data]
+            self._spawn(self._flush(dst))
+        else:
+            batch.append(data)
         return True
+
+    async def _flush(self, dst) -> None:
+        """Drain ``dst``'s outbox: one write + one drain per batch.
+
+        Frames sent while a previous batch is draining coalesce into
+        the next one, so backpressure from a slow peer throttles the
+        sender at batch granularity instead of per frame.
+        """
+        while True:
+            batch = self._outbox.get(dst)
+            if not batch:
+                self._outbox.pop(dst, None)
+                return
+            self._outbox[dst] = []
+            try:
+                writer = await self._writer_for(dst)
+                writer.write(b"".join(batch))
+                await writer.drain()
+            except (TransportError, OSError):
+                self.dropped += len(batch)
 
     async def _write(self, dst, data: bytes, delay: float) -> None:
         if delay > 0.0:
@@ -271,6 +359,7 @@ class TcpTransport(Transport):
 
     async def close(self) -> None:
         await super().close()
+        self._outbox.clear()
         for writer in list(self._writers.values()) + list(self._readers):
             writer.close()
         self._writers.clear()

@@ -4,23 +4,42 @@ Every message on the wire is one *frame*::
 
     0      2      3      4              12         16
     +------+------+------+--------------+----------+----------------+
-    | 'RW' | ver  | type |  request_id  | pay_len  | payload (JSON) |
+    | 'RW' | ver  | type |  request_id  | pay_len  |    payload     |
     +------+------+------+--------------+----------+----------------+
       2 B    1 B    1 B       8 B (BE)     4 B (BE)    pay_len B
 
 A fixed :data:`MAGIC` guards against cross-protocol traffic, the
-version byte rejects frames from a newer writer, and the payload is
-compact UTF-8 JSON -- small, debuggable, and structure-flexible while
-the struct header keeps framing allocation-free.  :data:`MAX_PAYLOAD`
-caps a frame so a corrupt (or hostile) length field can never make a
-reader buffer gigabytes.
+version byte rejects frames from a newer writer, and
+:data:`MAX_PAYLOAD` caps a frame so a corrupt (or hostile) length
+field can never make a reader buffer gigabytes.
+
+The payload travels in one of two encodings, discriminated by the
+:data:`PACKED_FLAG` bit of the type byte:
+
+* **JSON** (flag clear) -- compact UTF-8 JSON, small, debuggable and
+  structure-flexible.  Every frame kind can travel as JSON; control
+  frames (JOIN, PUBLISH, HEARTBEAT, ERROR) always do.
+* **packed** (flag set, wire version >= 2) -- the hot frame kinds of
+  the data path (ROUTE, LOOKUP and the ACKs answering them) carry
+  points, paths and integer ids, so their payloads pack into fixed
+  struct layouts through the same :mod:`struct` machinery as the
+  header: no JSON stringification per hop.  Packing is best-effort at
+  encode time -- a payload outside the packed schema (extra keys,
+  out-of-range ids, non-float coordinates) silently falls back to
+  JSON -- and lossless: ``decode(encode(p, packed=True)) == p``.
+
+Version 1 readers never see packed frames they cannot parse (the flag
+bit doubles as an unknown-type byte there), and version 2 readers
+accept v1 JSON frames unchanged, so the bump is compatible.
 
 Decoding is strict: bad magic, unknown version or message type, an
-oversized length, malformed JSON, or a truncated buffer all raise
-:class:`ProtocolError` -- never a hang, never a partial frame.
-:class:`FrameDecoder` is the incremental flavour for byte streams
-(TCP): feed it arbitrary chunks, it yields complete frames and keeps
-the tail buffered.
+oversized length, malformed JSON, a malformed packed layout, or a
+truncated buffer all raise :class:`ProtocolError` -- never a hang,
+never a partial frame.  :class:`FrameDecoder` is the incremental
+flavour for byte streams (TCP): feed it arbitrary chunks, it yields
+complete frames and keeps the tail buffered.  It parses in place with
+offset-based ``unpack_from`` reads, copying only each frame's payload
+slice, so a large coalesced chunk costs O(bytes), not O(bytes^2).
 """
 
 from __future__ import annotations
@@ -34,7 +53,13 @@ from dataclasses import dataclass, field
 MAGIC = b"RW"
 
 #: wire format version (bump on any incompatible header/payload change)
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+
+#: oldest version this build still decodes (v1 frames are plain JSON)
+MIN_WIRE_VERSION = 1
+
+#: type-byte bit marking a struct-packed (non-JSON) payload
+PACKED_FLAG = 0x80
 
 #: hard cap on one frame's payload (bytes)
 MAX_PAYLOAD = 1 << 20
@@ -59,9 +84,20 @@ class MsgType(enum.IntEnum):
     ERROR = 7
 
 
-@dataclass(frozen=True)
+#: type-byte -> MsgType, resolved without an enum-constructor call
+_MSG_BY_BYTE = {int(member): member for member in MsgType}
+
+
+@dataclass(slots=True)
 class Frame:
-    """One decoded wire frame."""
+    """One decoded wire frame.
+
+    A plain slots value object, created once or more per hop on the
+    data path -- a frozen dataclass would route every ``__init__``
+    field store through ``object.__setattr__`` and roughly double the
+    construction cost for nothing (the payload dict it carries was
+    always mutable anyway).
+    """
 
     kind: MsgType
     request_id: int
@@ -76,44 +112,326 @@ class Frame:
         )
 
 
-def encode_frame(frame: Frame) -> bytes:
-    """Serialize ``frame`` to its wire bytes."""
-    payload = json.dumps(
-        frame.payload, separators=(",", ":"), sort_keys=True
-    ).encode("utf-8")
+# -- packed payload codecs ---------------------------------------------------
+#
+# Each packed payload starts with a one-byte schema tag; the rest is a
+# fixed struct layout for that tag.  Integer ids ride as u32, zone/map
+# cell coordinates as i32, coordinates as f64 -- all exactly the value
+# domain the runtime produces, guarded at pack time so anything else
+# falls back to JSON.
+
+_TAG_ROUTE = 1        # {point, path, op, src} (+ optional map-read triple)
+_TAG_LOOKUP = 2       # {querier, level, cell, src}
+_TAG_ACK_ROUTE = 3    # {owner, path, hops}
+_TAG_ACK_FUSED = 4    # {owner, path, hops, served_by, widened, records}
+_TAG_ACK_MAP = 5      # {served_by, widened, records}
+
+_OP_CODES = {"route": 0, "lookup": 1}
+_OP_NAMES = {code: name for name, code in _OP_CODES.items()}
+
+#: exact key sets of the packable payload shapes (anything else -> JSON)
+_ROUTE_KEYS = frozenset({"point", "path", "op", "src"})
+_ROUTE_FUSED_KEYS = frozenset(
+    {"point", "path", "op", "src", "querier", "level", "cell"}
+)
+_LOOKUP_KEYS = frozenset({"querier", "level", "cell", "src"})
+_ACK_ROUTE_KEYS = frozenset({"owner", "path", "hops"})
+_ACK_FUSED_KEYS = frozenset(
+    {"owner", "path", "hops", "served_by", "widened", "records"}
+)
+_ACK_MAP_KEYS = frozenset({"served_by", "widened", "records"})
+
+# Integer fields lean on struct's own C-level range checks (a value
+# outside u32/i32, a non-int, or an overlong list raises struct.error
+# and the encoder falls back to JSON); only floats need a Python-side
+# type gate, because struct would silently coerce ints to doubles and
+# break decode(encode(p)) == p.
+
+
+def _pack_route(payload: dict):
+    keys = payload.keys()
+    if keys == _ROUTE_KEYS:
+        fused = 0
+    elif keys == _ROUTE_FUSED_KEYS:
+        fused = 1
+    else:
+        return None
+    opcode = _OP_CODES.get(payload["op"])
+    if opcode is None:
+        return None
+    point = payload["point"]
+    path = payload["path"]
+    for x in point:
+        if type(x) is not float:
+            return None
+    if fused:
+        cell = payload["cell"]
+        return struct.pack(
+            f"!BBBIB{len(point)}dH{len(path)}IIBB{len(cell)}i",
+            _TAG_ROUTE,
+            opcode,
+            1,
+            payload["src"],
+            len(point),
+            *point,
+            len(path),
+            *path,
+            payload["querier"],
+            payload["level"],
+            len(cell),
+            *cell,
+        )
+    return struct.pack(
+        f"!BBBIB{len(point)}dH{len(path)}I",
+        _TAG_ROUTE,
+        opcode,
+        0,
+        payload["src"],
+        len(point),
+        *point,
+        len(path),
+        *path,
+    )
+
+
+def _unpack_route(data, offset: int) -> tuple:
+    opcode, fused, src, npoint = struct.unpack_from("!BBIB", data, offset)
+    offset += 7
+    op = _OP_NAMES.get(opcode)
+    if op is None or fused not in (0, 1):
+        raise ProtocolError(f"packed ROUTE with bad op/fused ({opcode}/{fused})")
+    point = list(struct.unpack_from(f"!{npoint}d", data, offset))
+    offset += 8 * npoint
+    (npath,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    path = list(struct.unpack_from(f"!{npath}I", data, offset))
+    offset += 4 * npath
+    payload = {"point": point, "path": path, "op": op, "src": src}
+    if fused:
+        querier, level, ncell = struct.unpack_from("!IBB", data, offset)
+        offset += 6
+        payload["querier"] = querier
+        payload["level"] = level
+        payload["cell"] = list(struct.unpack_from(f"!{ncell}i", data, offset))
+        offset += 4 * ncell
+    return payload, offset
+
+
+def _pack_lookup(payload: dict):
+    if payload.keys() != _LOOKUP_KEYS:
+        return None
+    cell = payload["cell"]
+    return struct.pack(
+        f"!BIBB{len(cell)}iI",
+        _TAG_LOOKUP,
+        payload["querier"],
+        payload["level"],
+        len(cell),
+        *cell,
+        payload["src"],
+    )
+
+
+def _unpack_lookup(data, offset: int) -> tuple:
+    querier, level, ncell = struct.unpack_from("!IBB", data, offset)
+    offset += 6
+    cell = list(struct.unpack_from(f"!{ncell}i", data, offset))
+    offset += 4 * ncell
+    (src,) = struct.unpack_from("!I", data, offset)
+    offset += 4
+    return {"querier": querier, "level": level, "cell": cell, "src": src}, offset
+
+
+def _pack_map_read(served_by, widened, records):
+    """The map-read result triple, shared by fused and plain lookup ACKs."""
+    if type(widened) is not bool:
+        return None
+    flags = (0 if served_by is None else 1) | (2 if widened else 0)
+    return struct.pack(
+        f"!BIH{len(records)}I",
+        flags,
+        0 if served_by is None else served_by,
+        len(records),
+        *records,
+    )
+
+
+def _unpack_map_read(data, offset: int) -> tuple:
+    flags, served_by, nrecords = struct.unpack_from("!BIH", data, offset)
+    offset += 7
+    records = list(struct.unpack_from(f"!{nrecords}I", data, offset))
+    offset += 4 * nrecords
+    triple = {
+        "served_by": served_by if flags & 1 else None,
+        "widened": bool(flags & 2),
+        "records": records,
+    }
+    return triple, offset
+
+
+def _pack_ack(payload: dict):
+    keys = payload.keys()
+    if keys == _ACK_MAP_KEYS:
+        body = _pack_map_read(
+            payload["served_by"], payload["widened"], payload["records"]
+        )
+        if body is None:
+            return None
+        return struct.pack("!B", _TAG_ACK_MAP) + body
+    fused = keys == _ACK_FUSED_KEYS
+    if not fused and keys != _ACK_ROUTE_KEYS:
+        return None
+    path = payload["path"]
+    head = struct.pack(
+        f"!BIHH{len(path)}I",
+        _TAG_ACK_FUSED if fused else _TAG_ACK_ROUTE,
+        payload["owner"],
+        payload["hops"],
+        len(path),
+        *path,
+    )
+    if not fused:
+        return head
+    body = _pack_map_read(
+        payload["served_by"], payload["widened"], payload["records"]
+    )
+    if body is None:
+        return None
+    return head + body
+
+
+def _unpack_ack(tag: int, data, offset: int) -> tuple:
+    if tag == _TAG_ACK_MAP:
+        return _unpack_map_read(data, offset)
+    owner, hops, npath = struct.unpack_from("!IHH", data, offset)
+    offset += 8
+    path = list(struct.unpack_from(f"!{npath}I", data, offset))
+    offset += 4 * npath
+    payload = {"owner": owner, "path": path, "hops": hops}
+    if tag == _TAG_ACK_FUSED:
+        triple, offset = _unpack_map_read(data, offset)
+        payload.update(triple)
+    return payload, offset
+
+
+_PACKERS = {
+    MsgType.ROUTE: _pack_route,
+    MsgType.LOOKUP: _pack_lookup,
+    MsgType.ACK: _pack_ack,
+}
+
+_ROUTE_TAGS = frozenset({_TAG_ROUTE})
+_LOOKUP_TAGS = frozenset({_TAG_LOOKUP})
+_ACK_TAGS = frozenset({_TAG_ACK_ROUTE, _TAG_ACK_FUSED, _TAG_ACK_MAP})
+
+_TAGS_FOR = {
+    MsgType.ROUTE: _ROUTE_TAGS,
+    MsgType.LOOKUP: _LOOKUP_TAGS,
+    MsgType.ACK: _ACK_TAGS,
+}
+
+
+def pack_payload(kind: MsgType, payload: dict):
+    """Struct-pack ``payload`` for a hot-path ``kind``.
+
+    Returns the packed bytes, or ``None`` when the payload does not
+    fit the kind's packed schema (the caller falls back to JSON).
+    """
+    packer = _PACKERS.get(kind)
+    if packer is None:
+        return None
+    try:
+        return packer(payload)
+    except (struct.error, TypeError):
+        # out-of-range or mistyped value: the schema doesn't fit, JSON does
+        return None
+
+
+def unpack_payload(kind: MsgType, data) -> dict:
+    """Decode a packed payload; strict -- raises :class:`ProtocolError`."""
+    try:
+        (tag,) = struct.unpack_from("!B", data, 0)
+        if tag not in _TAGS_FOR.get(kind, ()):
+            raise ProtocolError(
+                f"packed payload tag {tag} does not belong to {kind.name}"
+            )
+        if tag == _TAG_ROUTE:
+            payload, end = _unpack_route(data, 1)
+        elif tag == _TAG_LOOKUP:
+            payload, end = _unpack_lookup(data, 1)
+        else:
+            payload, end = _unpack_ack(tag, data, 1)
+    except struct.error as exc:
+        raise ProtocolError(f"truncated packed payload: {exc}") from None
+    if end != len(data):
+        raise ProtocolError(
+            f"{len(data) - end} trailing bytes after packed payload"
+        )
+    return payload
+
+
+# -- frame codec -------------------------------------------------------------
+
+
+def encode_frame(frame: Frame, packed: bool = False) -> bytes:
+    """Serialize ``frame`` to its wire bytes.
+
+    With ``packed=True`` the hot frame kinds (ROUTE, LOOKUP, ACK) use
+    the struct fast path when the payload fits its schema; everything
+    else -- and any payload outside the schema -- rides as JSON.  Both
+    encodings decode to the identical payload dict.
+    """
+    payload = None
+    type_byte = int(frame.kind)
+    if packed:
+        payload = pack_payload(frame.kind, frame.payload)
+        if payload is not None:
+            type_byte |= PACKED_FLAG
+    if payload is None:
+        payload = json.dumps(
+            frame.payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(
             f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
         )
     header = HEADER.pack(
-        MAGIC, WIRE_VERSION, int(frame.kind), int(frame.request_id), len(payload)
+        MAGIC, WIRE_VERSION, type_byte, int(frame.request_id), len(payload)
     )
     return header + payload
 
 
-def _parse_header(buffer: bytes) -> tuple:
-    """Validate one frame header; returns ``(kind, request_id, length)``."""
-    magic, version, kind, request_id, length = HEADER.unpack_from(buffer)
+def _parse_header(buffer, offset: int = 0) -> tuple:
+    """Validate one frame header at ``offset``.
+
+    Returns ``(kind, packed, request_id, length)``.
+    """
+    magic, version, type_byte, request_id, length = HEADER.unpack_from(
+        buffer, offset
+    )
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r} (want {MAGIC!r})")
-    if version != WIRE_VERSION:
+    if not MIN_WIRE_VERSION <= version <= WIRE_VERSION:
         raise ProtocolError(
             f"unsupported wire version {version} (this build speaks {WIRE_VERSION})"
         )
-    try:
-        kind = MsgType(kind)
-    except ValueError:
-        raise ProtocolError(f"unknown message type {kind}") from None
+    packed = type_byte & PACKED_FLAG
+    kind = _MSG_BY_BYTE.get(type_byte & ~PACKED_FLAG)
+    if kind is None or (packed and version < 2):
+        # v1 had no packed flag, so a flagged v1 byte is just unknown
+        raise ProtocolError(f"unknown message type {type_byte}")
     if length > MAX_PAYLOAD:
         raise ProtocolError(
             f"declared payload of {length} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
         )
-    return kind, request_id, length
+    return kind, packed, request_id, length
 
 
-def _parse_payload(data: bytes) -> dict:
+def _parse_payload(kind: MsgType, packed: bool, data) -> dict:
+    if packed:
+        return unpack_payload(kind, data)
     try:
-        payload = json.loads(data.decode("utf-8"))
+        payload = json.loads(bytes(data).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"malformed frame payload: {exc}") from None
     if not isinstance(payload, dict):
@@ -129,7 +447,7 @@ def decode_frame(buffer: bytes) -> Frame:
         raise ProtocolError(
             f"truncated frame: {len(buffer)} bytes, header needs {HEADER.size}"
         )
-    kind, request_id, length = _parse_header(buffer)
+    kind, packed, request_id, length = _parse_header(buffer)
     end = HEADER.size + length
     if len(buffer) < end:
         raise ProtocolError(
@@ -138,7 +456,27 @@ def decode_frame(buffer: bytes) -> Frame:
         )
     if len(buffer) > end:
         raise ProtocolError(f"{len(buffer) - end} trailing bytes after frame")
-    return Frame(kind, request_id, _parse_payload(buffer[HEADER.size:end]))
+    return Frame(kind, request_id, _parse_payload(kind, packed, buffer[HEADER.size:end]))
+
+
+def roundtrip_payload(kind: MsgType, payload: dict, packed: bool = False) -> dict:
+    """``payload`` exactly as the receiving side would decode it.
+
+    The in-process loopback transport uses this to model the wire's
+    type fidelity (tuples become lists, keys become strings, packed
+    schemas coerce their fields) without paying for the 16-byte frame
+    header it would immediately re-parse.  Matches
+    ``decode_frame(encode_frame(frame, packed)).payload`` for every
+    payload, by construction: the same pack/unpack (or JSON) pair
+    runs, only the header round trip is skipped.
+    """
+    if packed:
+        data = pack_payload(kind, payload)
+        if data is not None:
+            return unpack_payload(kind, data)
+    return json.loads(
+        json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    )
 
 
 class FrameDecoder:
@@ -149,6 +487,11 @@ class FrameDecoder:
     malformed header or payload raises :class:`ProtocolError`
     immediately -- the stream is unrecoverable past that point, so the
     decoder refuses further input.
+
+    Parsing walks the buffer by offset (``unpack_from`` on the
+    bytearray, one payload-sized copy per frame) and compacts the
+    buffer once per feed, so N coalesced frames cost O(total bytes) --
+    not the O(bytes^2) a per-frame full-buffer copy would.
     """
 
     def __init__(self):
@@ -163,18 +506,26 @@ class FrameDecoder:
     def feed(self, chunk: bytes) -> list:
         if self._poisoned:
             raise ProtocolError("decoder poisoned by an earlier protocol error")
-        self._buffer.extend(chunk)
+        buffer = self._buffer
+        buffer.extend(chunk)
         frames = []
+        offset = 0
+        header_size = HEADER.size
         try:
-            while len(self._buffer) >= HEADER.size:
-                kind, request_id, length = _parse_header(bytes(self._buffer))
-                end = HEADER.size + length
-                if len(self._buffer) < end:
+            while len(buffer) - offset >= header_size:
+                kind, packed, request_id, length = _parse_header(buffer, offset)
+                start = offset + header_size
+                if len(buffer) - start < length:
                     break
-                payload = _parse_payload(bytes(self._buffer[HEADER.size:end]))
-                del self._buffer[:end]
+                payload = _parse_payload(
+                    kind, packed, bytes(buffer[start:start + length])
+                )
+                offset = start + length
                 frames.append(Frame(kind, request_id, payload))
         except ProtocolError:
             self._poisoned = True
             raise
+        finally:
+            if offset:
+                del buffer[:offset]
         return frames

@@ -177,6 +177,86 @@ class TestSimParity:
         assert run(scenario(7)) == run(scenario(7))
 
 
+class TestDispatchErrors:
+    def test_srcless_poison_frame_is_counted_not_swallowed(self):
+        """A bad frame with nobody to answer must still leave a trace.
+
+        Without a ``src`` there is no requester to bounce an ERROR to,
+        so the only evidence of the failure is the telemetry counter
+        and the actor's diagnostics -- both must record it.
+        """
+        from repro.runtime.wire import Frame, MsgType
+
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                victim = sorted(cluster.node_ids)[0]
+                actor = cluster._actor(victim)
+                # ROUTE without point/path/src: dispatch raises KeyError
+                await cluster.transport.send(
+                    victim, victim, Frame(MsgType.ROUTE, 77, {"bogus": True})
+                )
+                await asyncio.sleep(0)
+                return (
+                    cluster.network.telemetry.event_counts.get(
+                        "runtime_dispatch_error", 0
+                    ),
+                    list(actor.handled.get("dispatch_errors", [])),
+                    actor.handled.get("ROUTE", 0),
+                )
+
+        errors, reprs, routed = run(scenario())
+        assert errors == 1
+        assert routed == 1
+        assert len(reprs) == 1
+        assert reprs[0].startswith("ROUTE: KeyError")
+
+    def test_dispatch_error_reprs_are_capped(self):
+        """Diagnostics keep the first reprs; the counter keeps counting."""
+        from repro.runtime.node import NodeProcess
+        from repro.runtime.wire import Frame, MsgType
+
+        poison_count = NodeProcess.MAX_ERROR_REPRS + 4
+
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                victim = sorted(cluster.node_ids)[0]
+                actor = cluster._actor(victim)
+                for i in range(poison_count):
+                    await cluster.transport.send(
+                        victim, victim, Frame(MsgType.ROUTE, 100 + i, {})
+                    )
+                await asyncio.sleep(0)
+                return (
+                    cluster.network.telemetry.event_counts.get(
+                        "runtime_dispatch_error", 0
+                    ),
+                    len(actor.handled.get("dispatch_errors", [])),
+                )
+
+        errors, kept = run(scenario())
+        assert errors == poison_count
+        assert kept == NodeProcess.MAX_ERROR_REPRS
+
+    def test_poison_frame_with_src_gets_an_error_reply(self):
+        """A requester-visible failure still answers over the wire."""
+        from repro.runtime.node import RemoteError
+        from repro.runtime.wire import MsgType
+
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                ids = sorted(cluster.node_ids)
+                asker, victim = ids[0], ids[1]
+                with pytest.raises(RemoteError, match="KeyError"):
+                    await cluster._actor(asker).request(
+                        victim, MsgType.ROUTE, {"bogus": True}, timeout=2.0
+                    )
+                return cluster.network.telemetry.event_counts.get(
+                    "runtime_dispatch_error", 0
+                )
+
+        assert run(scenario()) == 1
+
+
 class TestTransportFaults:
     def test_lossy_transport_times_out_not_hangs(self):
         """Dropped frames surface as fast failures, never hangs."""

@@ -14,11 +14,12 @@ def run(coroutine):
     return asyncio.run(coroutine)
 
 
-def make_config(nodes=16):
+def make_config(nodes=16, **overrides):
     return ClusterConfig(
         nodes=nodes,
         network=NetworkParams(topo_scale=0.25, seed=3),
         overlay=OverlayParams(num_nodes=nodes, seed=5),
+        **overrides,
     )
 
 
@@ -113,3 +114,101 @@ class TestRunLoad:
         counters = run(scenario())
         assert counters.get("loadgen_ops") == 25
         assert counters.get("loadgen_errors", 0) == 0
+
+
+class TestClosedLoop:
+    def test_worker_pool_completes_every_request(self):
+        async def scenario():
+            async with Cluster(make_config()) as cluster:
+                return await run_load(
+                    cluster, rate=0.0, count=200, seed=4, concurrency=8
+                )
+
+        report = run(scenario())
+        assert report.mode == "closed"
+        assert report.concurrency == 8
+        assert report.offered_rate == 0.0
+        assert report.ops == 200
+        assert report.errors == 0
+        assert len(report.latencies_ms) == 200
+
+    def test_closed_loop_outruns_the_open_loop_schedule(self):
+        """Capacity mode must beat a slow arrival schedule's ceiling."""
+
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                open_report = await run_load(
+                    cluster, rate=500.0, count=100, seed=6
+                )
+                closed_report = await run_load(
+                    cluster, rate=500.0, count=100, seed=6, concurrency=16
+                )
+                return open_report, closed_report
+
+        open_report, closed_report = run(scenario())
+        # the open loop is pinned near its offered rate; the closed
+        # loop is limited only by service capacity
+        assert open_report.achieved_rate < 1000.0
+        assert closed_report.achieved_rate > open_report.achieved_rate
+
+    def test_concurrency_larger_than_count_is_safe(self):
+        async def scenario():
+            async with Cluster(make_config(nodes=8)) as cluster:
+                return await run_load(
+                    cluster, rate=0.0, count=5, seed=1, concurrency=64
+                )
+
+        report = run(scenario())
+        assert report.ops == 5
+        assert report.errors == 0
+        assert len(report.latencies_ms) == 5
+
+
+class TestMixedOutcomePercentiles:
+    def test_success_percentiles_exclude_error_latencies(self):
+        """A timeout cliff must not smear into the success percentiles.
+
+        Regression: errored requests spend their full timeout on the
+        clock; folding those latencies into p50/p95/p99 made a fast
+        service with a few timeouts look uniformly slow.
+        """
+        report = LoadReport(
+            ops=103,
+            errors=3,
+            latencies_ms=[1.0] * 100,
+            error_latencies_ms=[30_000.0] * 3,
+        )
+        pct = report.percentiles()
+        assert pct["p50"] == pytest.approx(1.0)
+        assert pct["p99"] == pytest.approx(1.0)
+        err = report.error_percentiles()
+        assert err["p50"] == pytest.approx(30_000.0)
+        summary = report.summary()
+        assert summary["wall_p99_ms"] == pytest.approx(1.0)
+        assert summary["wall_error_p50_ms"] == pytest.approx(30_000.0)
+        assert summary["wall_error_p99_ms"] == pytest.approx(30_000.0)
+
+    def test_error_summary_nan_when_no_errors(self):
+        report = LoadReport(ops=2, errors=0, latencies_ms=[1.0, 2.0])
+        assert np.isnan(report.error_percentiles()["p50"])
+        assert np.isnan(report.summary()["wall_error_p50_ms"])
+
+    def test_errored_requests_record_error_latency(self):
+        """Driven errors land in the error sample, not the success one."""
+
+        async def scenario():
+            config = make_config(nodes=8, request_timeout=0.2)
+            async with Cluster(config) as cluster:
+                # unbinding one member loses every reply addressed to
+                # it, so lookups sourced there time out (quickly)
+                victim = sorted(cluster.node_ids)[0]
+                await cluster.transport.unbind(victim)
+                report = await run_load(
+                    cluster, rate=0.0, count=60, seed=2, concurrency=4
+                )
+                return report
+
+        report = run(scenario())
+        assert report.errors > 0
+        assert len(report.error_latencies_ms) == report.errors
+        assert len(report.latencies_ms) == report.ops - report.errors

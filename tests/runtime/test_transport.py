@@ -231,3 +231,62 @@ class TestTcpSpecifics:
     def test_unknown_transport_kind(self):
         with pytest.raises(ValueError, match="unknown transport"):
             make_transport("carrier-pigeon")
+
+    def test_rebind_then_send_reaches_the_new_server(self):
+        """A restarted endpoint must receive traffic on its new socket.
+
+        The sender caches one connection per destination; rebinding an
+        address starts a fresh server on a fresh port, so a cached
+        writer aimed at the old port would send frames into the void.
+        The bind must invalidate the stale writer.
+        """
+
+        async def scenario():
+            transport = TcpTransport()
+            await transport.start()
+            await transport.bind("tx", Collector())
+            first = Collector()
+            await transport.bind("rx", first)
+            assert await transport.send(
+                "tx", "rx", Frame(MsgType.HEARTBEAT, 1, {"seq": 1})
+            )
+            await first.wait(1)
+            # restart: same address, new server (and new port)
+            await transport.unbind("rx")
+            second = Collector()
+            await transport.bind("rx", second)
+            assert await transport.send(
+                "tx", "rx", Frame(MsgType.HEARTBEAT, 2, {"seq": 2})
+            )
+            await second.wait(1)
+            await transport.close()
+            return first.frames, second.frames
+
+        first, second = run(scenario())
+        assert [f.payload["seq"] for f in first] == [1]
+        assert [f.payload["seq"] for f in second] == [2]
+
+    def test_rebind_closes_the_replaced_writer(self):
+        """Writers displaced from the cache are closed, not leaked."""
+
+        async def scenario():
+            transport = TcpTransport()
+            await transport.start()
+            await transport.bind("tx", Collector())
+            inbox = Collector()
+            await transport.bind("rx", inbox)
+            await transport.send(
+                "tx", "rx", Frame(MsgType.HEARTBEAT, 1, {"seq": 1})
+            )
+            await inbox.wait(1)
+            writer = transport._writers.get("rx")
+            assert writer is not None
+            await transport.unbind("rx")
+            closing = writer.is_closing()
+            stale = "rx" in transport._writers
+            await transport.close()
+            return closing, stale
+
+        closing, stale = run(scenario())
+        assert closing, "displaced writer must be closed"
+        assert not stale, "unbind must drop the cached writer"

@@ -9,6 +9,8 @@ from repro.runtime.wire import (
     HEADER,
     MAGIC,
     MAX_PAYLOAD,
+    MIN_WIRE_VERSION,
+    PACKED_FLAG,
     WIRE_VERSION,
     Frame,
     FrameDecoder,
@@ -16,6 +18,9 @@ from repro.runtime.wire import (
     ProtocolError,
     decode_frame,
     encode_frame,
+    pack_payload,
+    roundtrip_payload,
+    unpack_payload,
 )
 
 SAMPLE_PAYLOADS = {
@@ -120,6 +125,155 @@ class TestMalformedFrames:
                 pass
 
 
+#: payloads exactly matching the packed schemas of the hot frame kinds
+PACKED_PAYLOADS = [
+    (MsgType.ROUTE, {"point": [0.25, 0.75], "path": [0, 4, 9], "op": "lookup", "src": 3}),
+    (MsgType.ROUTE, {"point": [0.5, 0.5], "path": [7], "op": "route", "src": 7}),
+    (
+        MsgType.ROUTE,
+        {
+            "point": [0.1, 0.9],
+            "path": [2, 5],
+            "op": "lookup",
+            "src": 2,
+            "querier": 2,
+            "level": 1,
+            "cell": [0, 1],
+        },
+    ),
+    (MsgType.LOOKUP, {"querier": 7, "level": 2, "cell": [1, 3], "src": 7}),
+    (MsgType.ACK, {"owner": 5, "path": [1, 5], "hops": 1}),
+    (
+        MsgType.ACK,
+        {
+            "owner": 5,
+            "path": [1, 5],
+            "hops": 1,
+            "served_by": 9,
+            "widened": True,
+            "records": [3, 9, 11],
+        },
+    ),
+    (
+        MsgType.ACK,
+        {"served_by": None, "widened": False, "records": []},
+    ),
+]
+
+
+class TestPackedEncoding:
+    @pytest.mark.parametrize("kind,payload", PACKED_PAYLOADS)
+    def test_packed_roundtrip_is_lossless(self, kind, payload):
+        frame = Frame(kind, 42, payload)
+        data = encode_frame(frame, packed=True)
+        assert data[3] & PACKED_FLAG, "schema-conformant payload must pack"
+        decoded = decode_frame(data)
+        assert decoded.kind is kind
+        assert decoded.request_id == 42
+        assert decoded.payload == payload
+
+    @pytest.mark.parametrize("kind,payload", PACKED_PAYLOADS)
+    def test_packed_decodes_same_as_json(self, kind, payload):
+        """Both encodings of one frame must decode identically."""
+        frame = Frame(kind, 7, payload)
+        via_packed = decode_frame(encode_frame(frame, packed=True))
+        via_json = decode_frame(encode_frame(frame, packed=False))
+        assert via_packed == via_json
+
+    @pytest.mark.parametrize("kind,payload", PACKED_PAYLOADS)
+    def test_roundtrip_payload_matches_codec(self, kind, payload):
+        """The loopback shortcut equals the full encode/decode pair."""
+        for packed in (False, True):
+            full = decode_frame(
+                encode_frame(Frame(kind, 1, payload), packed=packed)
+            ).payload
+            assert roundtrip_payload(kind, payload, packed) == full
+
+    def test_packed_is_smaller_than_json(self):
+        kind, payload = PACKED_PAYLOADS[0]
+        frame = Frame(kind, 1, payload)
+        assert len(encode_frame(frame, packed=True)) < len(encode_frame(frame))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            # extra key outside the schema
+            {"point": [0.5], "path": [1], "op": "route", "src": 1, "x": 0},
+            # unknown op string
+            {"point": [0.5], "path": [1], "op": "probe", "src": 1},
+            # int coordinate: struct would coerce it and break losslessness
+            {"point": [1, 0.5], "path": [1], "op": "route", "src": 1},
+            # node id outside u32
+            {"point": [0.5], "path": [1 << 40], "op": "route", "src": 1},
+            # non-int in an id list
+            {"point": [0.5], "path": ["a"], "op": "route", "src": 1},
+        ],
+    )
+    def test_off_schema_payload_falls_back_to_json(self, payload):
+        frame = Frame(MsgType.ROUTE, 1, payload)
+        data = encode_frame(frame, packed=True)
+        assert not (data[3] & PACKED_FLAG)
+        assert decode_frame(data).payload == payload
+
+    def test_control_kinds_never_pack(self):
+        for kind in (MsgType.JOIN, MsgType.PUBLISH, MsgType.HEARTBEAT, MsgType.ERROR):
+            assert pack_payload(kind, SAMPLE_PAYLOADS[kind]) is None
+            data = encode_frame(Frame(kind, 1, SAMPLE_PAYLOADS[kind]), packed=True)
+            assert not (data[3] & PACKED_FLAG)
+
+    def test_wrong_kind_tag_rejected(self):
+        """A LOOKUP payload smuggled under a ROUTE header must not parse."""
+        data = pack_payload(
+            MsgType.LOOKUP, {"querier": 1, "level": 1, "cell": [0], "src": 1}
+        )
+        with pytest.raises(ProtocolError, match="does not belong"):
+            unpack_payload(MsgType.ROUTE, data)
+
+    def test_trailing_bytes_rejected(self):
+        kind, payload = PACKED_PAYLOADS[0]
+        data = pack_payload(kind, payload)
+        with pytest.raises(ProtocolError, match="trailing"):
+            unpack_payload(kind, data + b"\x00")
+
+    def test_truncated_packed_payload_rejected(self):
+        kind, payload = PACKED_PAYLOADS[0]
+        data = pack_payload(kind, payload)
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                unpack_payload(kind, data[:cut])
+
+    def test_v1_frame_with_packed_flag_is_unknown(self):
+        """v1 never defined the flag bit: a flagged v1 byte is a bad type."""
+        type_byte = int(MsgType.ROUTE) | PACKED_FLAG
+        bad = HEADER.pack(MAGIC, MIN_WIRE_VERSION, type_byte, 1, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_frame(bad)
+
+    def test_v1_json_frames_still_decode(self):
+        body = b'{"seq":1}'
+        data = HEADER.pack(
+            MAGIC, MIN_WIRE_VERSION, int(MsgType.HEARTBEAT), 9, len(body)
+        ) + body
+        decoded = decode_frame(data)
+        assert decoded.payload == {"seq": 1}
+
+    def test_corrupt_packed_bytes_never_hang(self):
+        """Mirror of the JSON fuzz: corruptions decode or raise, promptly."""
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for kind, payload in PACKED_PAYLOADS:
+            data = bytearray(encode_frame(Frame(kind, 3, payload), packed=True))
+            for _ in range(200):
+                corrupt = bytearray(data)
+                position = int(rng.integers(0, len(corrupt)))
+                corrupt[position] ^= int(rng.integers(1, 256))
+                try:
+                    decode_frame(bytes(corrupt))
+                except ProtocolError:
+                    pass
+
+
 class TestFrameDecoder:
     def test_single_byte_feeds(self):
         frames = [
@@ -160,3 +314,28 @@ class TestFrameDecoder:
         """The frame header is part of the versioned wire contract."""
         assert HEADER.size == 16
         assert struct.calcsize("!2sBBQI") == 16
+
+    def test_large_coalesced_chunk_parses_in_linear_time(self):
+        """One big feed must cost O(bytes), not O(bytes^2).
+
+        5000 x ~2KB frames arrive as a single coalesced chunk -- the
+        shape a fast sender produces on a TCP stream.  A decoder that
+        re-slices the whole remaining buffer per frame would copy
+        ~25GB here and blow far past the (already generous) bound; the
+        offset-walking parse finishes in well under a second.
+        """
+        import time
+
+        frames = [
+            Frame(MsgType.ACK, i, {"blob": "x" * 2000, "i": i})
+            for i in range(5000)
+        ]
+        chunk = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        began = time.perf_counter()
+        out = decoder.feed(chunk)
+        elapsed = time.perf_counter() - began
+        assert len(out) == 5000
+        assert [f.payload["i"] for f in out[:3]] == [0, 1, 2]
+        assert decoder.pending_bytes == 0
+        assert elapsed < 5.0, f"coalesced feed took {elapsed:.2f}s"
