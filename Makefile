@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke soak-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke soak-smoke overload-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -31,7 +31,8 @@ bench-smoke:
 		benchmarks/bench_fig05_hybrid_small.py \
 		benchmarks/bench_ext_fault_injection.py \
 		benchmarks/bench_perf_scale.py \
-		benchmarks/bench_perf_runtime.py -q --benchmark-disable
+		benchmarks/bench_perf_runtime.py \
+		benchmarks/bench_perf_overload.py -q --benchmark-disable
 	$(PYTHON) scripts/bench_report.py
 
 # The live-runtime acceptance scenario: boot a 64-node cluster over
@@ -53,6 +54,15 @@ runtime-smoke:
 soak-smoke:
 	$(PYTHON) scripts/churn_soak.py --smoke
 
+# The overload-protection gate: a small loopback cluster with tiny
+# data-lane mailboxes takes 2x closed-loop overload while the SWIM
+# detector ticks against the saturated nodes.  Asserts shed > 0 (the
+# protection engaged), zero false crash verdicts, and a goodput floor
+# of half the measured capacity.  Leaves
+# benchmarks/out/overload/overload_smoke.json.
+overload-smoke:
+	$(PYTHON) scripts/overload_smoke.py
+
 # The recovery acceptance scenario: 20% simultaneous crash + one
 # transit partition window under probe loss; asserts the stack-wide
 # invariants hold post-recovery and that no live node was falsely
@@ -73,6 +83,7 @@ ci:
 	$(MAKE) chaos-smoke
 	$(MAKE) runtime-smoke
 	$(MAKE) soak-smoke
+	$(MAKE) overload-smoke
 	$(MAKE) bench-smoke
 	$(PYTHON) scripts/bench_report.py --check
 

@@ -1,0 +1,177 @@
+"""Overload smoke: 2x closed-loop overload with the detector live.
+
+The acceptance scenario for the overload-protection layer
+(``runtime/node.py`` two-lane mailboxes + ``core/reliability.py``
+client reaction), run by ``make overload-smoke`` and CI:
+
+* boot a small loopback cluster with deliberately tiny data-lane
+  mailboxes and arm the SWIM recovery stack;
+* measure capacity with a closed-loop worker pool, then hold twice
+  that pool in flight -- sustained overload, not a burst;
+* tick the failure detector repeatedly *while* the cluster is
+  saturated;
+* assert the protection engaged (shed > 0), the overload stayed
+  harmless to liveness (zero false crash verdicts, nobody confirmed
+  dead), and goodput held a floor of half the measured capacity
+  instead of collapsing.
+
+A JSON artifact with the capacity/overload stats is written for CI
+upload (``benchmarks/out/overload/overload_smoke.json`` by default --
+a subdirectory, so ``bench_report.py`` ignores it).
+
+Usage::
+
+    python scripts/overload_smoke.py              # 8 nodes, 2x overload
+    python scripts/overload_smoke.py --nodes 12 --count 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import NetworkParams, OverlayParams  # noqa: E402
+from repro.runtime import Cluster, ClusterConfig, run_load  # noqa: E402
+
+DEFAULT_ARTIFACT = (
+    REPO_ROOT / "benchmarks" / "out" / "overload" / "overload_smoke.json"
+)
+
+#: closed-loop pool that saturates the loopback cluster
+CAPACITY_POOL = 16
+#: goodput under 2x overload must hold this fraction of capacity
+GOODPUT_FLOOR = 0.5
+
+
+async def smoke(nodes: int, count: int, mailbox_cap: int, seed: int) -> dict:
+    config = ClusterConfig(
+        nodes=nodes,
+        network=NetworkParams(topo_scale=0.25, seed=seed),
+        overlay=OverlayParams(num_nodes=nodes, seed=seed),
+        mailbox_cap=mailbox_cap,
+        # fail fast on BUSY: the closed-loop worker reissues anyway
+        busy_retries=0,
+        breaker_threshold=8,
+        breaker_reset_s=0.03,
+    )
+    async with Cluster(config) as cluster:
+        recovery = await cluster.enable_recovery()
+        print(
+            f"booted {len(cluster)} nodes over {cluster.transport.kind}, "
+            f"mailbox cap {mailbox_cap}, detector armed"
+        )
+
+        probe = await run_load(
+            cluster, rate=0.0, count=count // 2, seed=seed,
+            concurrency=CAPACITY_POOL,
+        )
+        capacity = probe.succeeded / probe.wall_duration_s
+        print(
+            f"capacity probe: {CAPACITY_POOL} in flight -> "
+            f"{capacity:.0f} ops/s, p99 {probe.percentiles()['p99']:.3f} ms"
+        )
+
+        # 2x overload, with detector rounds fired *during* saturation
+        load = asyncio.ensure_future(
+            run_load(
+                cluster, rate=0.0, count=count, seed=seed + 1,
+                concurrency=2 * CAPACITY_POOL,
+            )
+        )
+        ticks_during_load = 0
+        while not load.done():
+            await recovery.tick()
+            ticks_during_load += 1
+            await asyncio.sleep(0.02)
+        report = await load
+        goodput = report.succeeded / report.wall_duration_s
+        pct = report.percentiles()
+        counters = cluster.overload_counters()
+
+    result = {
+        "nodes": nodes,
+        "mailbox_cap": mailbox_cap,
+        "count": count,
+        "seed": seed,
+        "capacity_ops": capacity,
+        "overload_concurrency": 2 * CAPACITY_POOL,
+        "goodput_ops": goodput,
+        "goodput_floor": GOODPUT_FLOOR,
+        "p50_ms": pct["p50"],
+        "p99_ms": pct["p99"],
+        "errors": report.errors,
+        "shed": report.shed,
+        "busy_errors": report.busy_errors,
+        "breaker_fastfails": report.breaker_fastfails,
+        "breaker_opens": counters["breaker_opens"],
+        "detector_ticks_during_load": ticks_during_load,
+        "false_crashes": recovery.false_kills,
+        "confirmed_dead": list(recovery.confirmed_dead),
+    }
+    print(
+        f"overload: {report.ops} ops at 2x, goodput {goodput:.0f} ops/s "
+        f"({goodput / capacity:.2f}x capacity), shed {report.shed}, "
+        f"busy {report.busy_errors}, breaker opens {counters['breaker_opens']}, "
+        f"p99 {pct['p99']:.3f} ms"
+    )
+    print(
+        f"detector: {ticks_during_load} rounds during saturation, "
+        f"{recovery.false_kills} false crashes, "
+        f"{len(recovery.confirmed_dead)} confirmed dead"
+    )
+    return result
+
+
+def verify(result: dict) -> list:
+    failures = []
+    if result["shed"] <= 0:
+        failures.append("no sheds: the overload never engaged protection")
+    if result["false_crashes"] != 0:
+        failures.append(f"{result['false_crashes']} false crash verdicts")
+    if result["confirmed_dead"]:
+        failures.append(f"confirmed dead: {result['confirmed_dead']}")
+    if result["detector_ticks_during_load"] < 1:
+        failures.append("detector never ticked during saturation")
+    floor = result["goodput_floor"] * result["capacity_ops"]
+    if result["goodput_ops"] < floor:
+        failures.append(
+            f"goodput {result['goodput_ops']:.0f} ops/s under the "
+            f"{floor:.0f} ops/s floor"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--count", type=int, default=3000)
+    parser.add_argument("--mailbox-cap", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_ARTIFACT,
+        help="JSON artifact path (default benchmarks/out/overload/)",
+    )
+    args = parser.parse_args(argv)
+    result = asyncio.run(
+        smoke(args.nodes, args.count, args.mailbox_cap, args.seed)
+    )
+    failures = verify(result)
+    result["ok"] = not failures
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"artifact: {args.out.relative_to(REPO_ROOT)}")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("overload smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,12 @@ async def smoke(
             f"booted {len(cluster)} nodes over {cluster.transport.kind} "
             f"({encoding} frames)"
         )
+        print(
+            f"overload protection: mailbox cap {config.mailbox_cap} "
+            f"({config.shed_policy}-first shed), breaker threshold "
+            f"{config.breaker_threshold}, adaptive timeout "
+            f"{'on' if config.adaptive_timeout else 'off'}"
+        )
         report = await run_load(cluster, rate=rate, count=lookups, seed=seed)
         pct = report.percentiles()
         print(

@@ -156,21 +156,21 @@ def _install_uvloop() -> bool:
     return True
 
 
-def cmd_cluster(args) -> int:
-    """Boot a live cluster, drive lookups, print latency + parity."""
-    import asyncio
+def _cluster_config(args):
+    """Build the :class:`ClusterConfig` a ``repro cluster`` run uses.
 
+    Split from :func:`cmd_cluster` so tests can assert every CLI flag
+    lands on the config without booting a cluster.
+    """
     from repro.core.config import NetworkParams, OverlayParams
-    from repro.runtime import Cluster, ClusterConfig, run_load
+    from repro.runtime import ClusterConfig
 
-    if args.uvloop:
-        _install_uvloop()
     retry = None
     if args.retries > 1:
         from repro.core.reliability import RetryPolicy
 
         retry = RetryPolicy(max_attempts=args.retries)
-    config = ClusterConfig(
+    return ClusterConfig(
         nodes=args.nodes,
         network=NetworkParams(topo_scale=args.topo_scale, seed=args.seed),
         overlay=OverlayParams(num_nodes=args.nodes, seed=args.seed),
@@ -182,7 +182,22 @@ def cmd_cluster(args) -> int:
         probe_timeout=args.probe_timeout,
         retry=retry,
         bulk_boot=args.bulk_boot,
+        mailbox_cap=args.mailbox_cap if args.mailbox_cap > 0 else None,
+        shed_policy=args.shed_policy,
+        breaker_threshold=args.breaker_threshold,
+        adaptive_timeout=args.adaptive_timeout,
     )
+
+
+def cmd_cluster(args) -> int:
+    """Boot a live cluster, drive lookups, print latency + parity."""
+    import asyncio
+
+    from repro.runtime import Cluster, run_load
+
+    if args.uvloop:
+        _install_uvloop()
+    config = _cluster_config(args)
 
     async def drive():
         cluster = Cluster(config)
@@ -203,11 +218,12 @@ def cmd_cluster(args) -> int:
                 verdict = await cluster.verify_against_sim(
                     lookups=min(args.lookups, 128), routes=32, seed=args.seed
                 )
+            overload = cluster.overload_counters()
         finally:
             await cluster.stop()
-        return report, verdict
+        return report, verdict, overload
 
-    report, verdict = asyncio.run(drive())
+    report, verdict, overload = asyncio.run(drive())
     pct = report.percentiles()
     offered = (
         f"closed loop, {report.concurrency} in flight"
@@ -226,6 +242,13 @@ def cmd_cluster(args) -> int:
         print(
             f"retries: {report.retries} "
             f"(backed off {report.backoff_ms:.0f} ms total)"
+        )
+    if overload["shed"] or overload["breaker_opens"] or overload["busy_replies"]:
+        print(
+            f"overload: shed {overload['shed']} | busy replies "
+            f"{overload['busy_replies']} | breaker opens "
+            f"{overload['breaker_opens']} (fast-fails "
+            f"{overload['breaker_fastfails']})"
         )
     if verdict is None:
         print("verify-against-sim: skipped (--bulk-boot)")
@@ -357,6 +380,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="boot through the builder's batched bulk-join fast path "
         "(skips the hop-level sim-parity check: tables differ by design)",
+    )
+    cluster.add_argument(
+        "--mailbox-cap",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="data-lane depth cap per actor; frames past it are shed "
+        "with a BUSY reply (0 = unbounded; default 1024)",
+    )
+    cluster.add_argument(
+        "--shed-policy",
+        choices=["oldest", "newest"],
+        default="oldest",
+        help="which frame a full data lane sheds: the queue head "
+        "('oldest', admits the arrival) or the arrival itself "
+        "('newest'); default oldest",
+    )
+    cluster.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=8,
+        metavar="K",
+        help="consecutive BUSY/timeout failures that open a per-peer "
+        "circuit breaker (0 disables breakers; default 8)",
+    )
+    cluster.add_argument(
+        "--adaptive-timeout",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="derive per-peer request timeouts from EWMA RTT + variance "
+        "(Jacobson RTO) instead of the static --request-timeout "
+        "(default on; --no-adaptive-timeout restores static timeouts)",
     )
     cluster.add_argument("--seed", type=int, default=0, help="workload/overlay seed")
     cluster.set_defaults(func=cmd_cluster)

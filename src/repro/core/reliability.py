@@ -1,10 +1,20 @@
-"""Retry, timeout and backoff policies for the faulty network.
+"""Retry, timeout, backoff and overload-reaction policies.
 
 Every layer that talks to the (fault-injectable) network shares one
 :class:`RetryPolicy`: a bounded number of attempts separated by
 exponential backoff that advances the *simulated* clock -- never
 wall-clock time -- so resilience experiments stay deterministic and
 can report recovery times in simulated milliseconds.
+
+The live runtime additionally needs client-side *overload* reaction
+(PR 8): :class:`DecorrelatedJitter` spreads BUSY retries so shed
+requests do not re-arrive in lockstep, :class:`CircuitBreaker` stops
+hammering a peer that keeps shedding or timing out (closed -> open ->
+half-open probe -> closed), and :class:`AdaptiveTimeout` derives a
+Jacobson-style per-peer RTO from EWMA RTT + variance so timeouts
+track the network instead of a static ``--request-timeout``.  These
+three are pure state machines over an injected clock/rng, so they
+stay unit-testable and deterministic outside the event loop.
 
 Consumers receive a policy instance rather than importing this module
 (the soft-state and overlay packages sit *below* ``repro.core`` in
@@ -21,11 +31,22 @@ the import graph):
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.netsim.faults import ProbeTimeout
+
+
+class CircuitOpenError(Exception):
+    """Raised (fast, locally) when a peer's circuit breaker is open."""
+
+    def __init__(self, peer, retry_after_s: float = 0.0):
+        super().__init__(f"circuit open for peer {peer!r}")
+        self.peer = peer
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -142,6 +163,180 @@ class RetryPolicy:
 
 #: the fire-and-forget baseline: one attempt, no waiting
 NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, max_delay=0.0)
+
+
+class DecorrelatedJitter:
+    """AWS-style decorrelated-jitter backoff for BUSY retries.
+
+    Each delay is ``min(cap, uniform(base, prev * 3))`` -- the spread
+    grows with consecutive retries but successive clients never sync
+    up on a common schedule the way plain exponential backoff does,
+    so a shedding peer is not hit by a retry *wave*.  ``reset()``
+    returns the ladder to ``base`` after a success.
+    """
+
+    def __init__(self, base_ms: float = 2.0, cap_ms: float = 250.0, rng=None):
+        if base_ms <= 0:
+            raise ValueError("base_ms must be positive")
+        if cap_ms < base_ms:
+            raise ValueError("cap_ms must be >= base_ms")
+        self.base_ms = float(base_ms)
+        self.cap_ms = float(cap_ms)
+        self._rng = rng if rng is not None else random.Random()
+        self._prev_ms = float(base_ms)
+
+    def next_delay(self) -> float:
+        """Next backoff in milliseconds (also advances the ladder)."""
+        delay = min(self.cap_ms, self._rng.uniform(self.base_ms, self._prev_ms * 3.0))
+        self._prev_ms = delay
+        return delay
+
+    def reset(self) -> None:
+        self._prev_ms = self.base_ms
+
+
+class CircuitBreaker:
+    """Per-peer circuit breaker: closed -> open -> half-open -> closed.
+
+    ``threshold`` *consecutive* failures (BUSY sheds or timeouts) open
+    the circuit; while open, :meth:`allow` fast-fails locally so a
+    struggling peer gets breathing room instead of more retries.
+    After ``reset_timeout_s`` one half-open probe is let through: its
+    success closes the circuit, its failure re-opens it for another
+    full window.  The clock is injected (defaults to
+    :func:`time.monotonic`) so tests drive state transitions without
+    sleeping.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 8, reset_timeout_s: float = 1.0, clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.threshold = int(threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self.state = self.CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        # lifetime accounting, surfaced by the overload bench
+        self.opens = 0
+        self.closes = 0
+        self.fast_fails = 0
+
+    def allow(self) -> bool:
+        """May a request be sent now?  (Counts the refusals it issues.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self.state = self.HALF_OPEN
+                self._probing = False
+            else:
+                self.fast_fails += 1
+                return False
+        # half-open: exactly one in-flight probe at a time
+        if self._probing:
+            self.fast_fails += 1
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self._probing = False
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self.closes += 1
+
+    def record_failure(self) -> bool:
+        """Account one failure; True when this call *opened* the circuit."""
+        self._probing = False
+        if self.state == self.HALF_OPEN:
+            # failed probe: straight back to open for a fresh window
+            self.state = self.OPEN
+            self._opened_at = self._clock()
+            self.opens += 1
+            return True
+        self.failures += 1
+        if self.state == self.CLOSED and self.failures >= self.threshold:
+            self.state = self.OPEN
+            self._opened_at = self._clock()
+            self.opens += 1
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next half-open probe is admitted (0 if now)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(0.0, self.reset_timeout_s - (self._clock() - self._opened_at))
+
+
+class AdaptiveTimeout:
+    """Jacobson-style per-peer RTO from EWMA RTT + variance.
+
+    ``observe(rtt)`` folds a round-trip sample into the smoothed RTT
+    (gain 1/8) and mean deviation (gain 1/4); :meth:`timeout` yields
+    ``srtt + 4 * rttvar`` clamped to ``[min_s, max_s]``.  Until the
+    first sample arrives the initial (static) timeout applies, so
+    cold-start behavior is exactly the pre-adaptive one.  Karn-style:
+    :meth:`backoff` doubles the effective RTO after a timeout (capped
+    at ``max_s``) and any successful sample collapses the backoff.
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self, initial_s: float, min_s: float = 0.25, max_s: float = None):
+        if initial_s <= 0:
+            raise ValueError("initial_s must be positive")
+        if min_s <= 0:
+            raise ValueError("min_s must be positive")
+        if max_s is None:
+            max_s = initial_s
+        if max_s < min_s:
+            raise ValueError("max_s must be >= min_s")
+        self.initial_s = float(initial_s)
+        self.min_s = float(min_s)
+        self.max_s = float(max_s)
+        self.srtt = None
+        self.rttvar = 0.0
+        self._backoff = 1.0
+        self.samples = 0
+
+    def observe(self, rtt_s: float) -> None:
+        """Fold one successful round-trip time (seconds) into the RTO."""
+        rtt_s = float(rtt_s)
+        if rtt_s < 0:
+            raise ValueError("rtt_s must be non-negative")
+        if self.srtt is None:
+            self.srtt = rtt_s
+            self.rttvar = rtt_s / 2.0
+        else:
+            err = rtt_s - self.srtt
+            self.rttvar += self.BETA * (abs(err) - self.rttvar)
+            self.srtt += self.ALPHA * err
+        self._backoff = 1.0
+        self.samples += 1
+
+    def timeout(self) -> float:
+        """Current RTO in seconds (with any post-timeout backoff applied)."""
+        if self.srtt is None:
+            base = self.initial_s
+        else:
+            base = max(self.min_s, min(self.max_s, self.srtt + self.K * self.rttvar))
+        return min(self.max_s, base * self._backoff)
+
+    def backoff(self) -> None:
+        """Double the effective RTO after a timeout (Karn-style)."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
 
 
 def measure_vector_reliably(

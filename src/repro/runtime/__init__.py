@@ -22,11 +22,20 @@ drives a SWIM-style failure detector over HEARTBEAT frames (direct
 probes, witness relays, partition shielding) and reuses the
 simulator's :class:`~repro.core.recovery.RecoveryManager` for zone
 takeover and replica re-hosting when a death is confirmed.
+
+The runtime degrades gracefully under overload (DESIGN.md §12): each
+actor's mailbox is two lanes -- control traffic is never shed, data
+traffic is capped and sheds with a BUSY wire frame -- and clients
+react with jittered BUSY retries, per-peer circuit breakers and
+Jacobson-style adaptive timeouts (:exc:`~repro.runtime.node.PeerBusy`,
+:class:`~repro.core.reliability.CircuitBreaker`,
+:class:`~repro.core.reliability.AdaptiveTimeout`).
 """
 
+from repro.core.reliability import CircuitOpenError
 from repro.runtime.cluster import Cluster, ClusterConfig
 from repro.runtime.loadgen import LoadReport, latency_percentiles, run_load
-from repro.runtime.node import NodeProcess
+from repro.runtime.node import NodeProcess, PeerBusy, RemoteError, RequestTimeout
 from repro.runtime.recovery import RuntimeRecovery
 from repro.runtime.transport import (
     LoopbackTransport,
@@ -45,6 +54,7 @@ from repro.runtime.wire import (
 )
 
 __all__ = [
+    "CircuitOpenError",
     "Cluster",
     "ClusterConfig",
     "Frame",
@@ -53,7 +63,10 @@ __all__ = [
     "LoopbackTransport",
     "MsgType",
     "NodeProcess",
+    "PeerBusy",
     "ProtocolError",
+    "RemoteError",
+    "RequestTimeout",
     "RuntimeRecovery",
     "TcpTransport",
     "Transport",

@@ -71,10 +71,46 @@ class ClusterConfig:
     #: of sequential wire JOINs (same membership/zones, tables may
     #: differ; for large soak clusters where O(N) wire joins dominate)
     bulk_boot: bool = False
+    #: data-lane depth cap per actor (ROUTE/LOOKUP/PUBLISH); frames
+    #: past the cap are shed with a BUSY reply.  None = unbounded
+    #: (the pre-overload-protection behavior).
+    mailbox_cap: int = 1024
+    #: which frame a full data lane sheds: "oldest" drops the queue
+    #: head and admits the arrival, "newest" refuses the arrival
+    shed_policy: str = "oldest"
+    #: consecutive BUSY/timeout failures that open a peer's circuit
+    #: breaker (0 disables breakers entirely)
+    breaker_threshold: int = 8
+    #: seconds an open breaker waits before its half-open probe
+    breaker_reset_s: float = 1.0
+    #: extra resend attempts granted to BUSY sheds (decorrelated
+    #: jitter, separate from the loss-retry budget)
+    busy_retries: int = 2
+    #: decorrelated-jitter ladder for BUSY retries (wall ms)
+    busy_backoff_base_ms: float = 2.0
+    busy_backoff_cap_ms: float = 250.0
+    #: derive per-peer request timeouts from EWMA RTT + variance
+    #: (Jacobson RTO) instead of the static request_timeout
+    adaptive_timeout: bool = True
+    #: floor for the adaptive RTO (seconds)
+    rto_min_s: float = 0.25
+    #: per-peer TCP write-queue cap in frames (tcp transport only);
+    #: frames past the cap drop and count as backpressure
+    outbox_cap: int = 8192
 
     def __post_init__(self):
         if self.nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if self.shed_policy not in ("oldest", "newest"):
+            raise ValueError(
+                f"shed_policy must be 'oldest' or 'newest', got {self.shed_policy!r}"
+            )
+        if self.mailbox_cap is not None and self.mailbox_cap < 1:
+            raise ValueError("mailbox_cap must be >= 1 (or None for unbounded)")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0 (0 disables)")
+        if self.busy_retries < 0:
+            raise ValueError("busy_retries must be >= 0")
         if self.overlay.num_nodes != self.nodes:
             self.overlay = replace(self.overlay, num_nodes=self.nodes)
 
@@ -97,13 +133,15 @@ class Cluster:
                 self.network, config.fault_plan, seed=config.fault_seed
             )
             faults.armed = True
-        self.transport = make_transport(
-            config.transport,
+        transport_kwargs = dict(
             oracle=self.network.oracle,
             latency_scale=config.latency_scale,
             faults=faults,
             encoding=config.wire_encoding,
         )
+        if config.transport == "tcp":
+            transport_kwargs["outbox_cap"] = config.outbox_cap
+        self.transport = make_transport(config.transport, **transport_kwargs)
         #: node id -> NodeProcess, in join order
         self.actors: dict = {}
         #: crash-stopped node id -> physical host (corpses; the overlay
@@ -349,6 +387,36 @@ class Cluster:
         return {
             "retries": int(policy.retries),
             "backoff_ms": float(policy.backoff_slept_ms),
+        }
+
+    def overload_counters(self) -> dict:
+        """Cluster-wide overload-protection accounting.
+
+        Aggregates the telemetry counters the shed/BUSY path bumps
+        with the per-actor circuit-breaker state machines and the TCP
+        transport's backpressure drops -- the numbers the overload
+        bench records per offered-load cell.
+        """
+        counters = self.network.telemetry.event_counts
+        breakers = [
+            breaker
+            for actor in self.actors.values()
+            for breaker in actor._breakers.values()
+        ]
+        return {
+            "shed": int(counters.get("runtime_shed", 0)),
+            "busy_replies": int(counters.get("runtime_busy_reply", 0)),
+            "busy_retries": sum(a.busy_retries for a in self.actors.values()),
+            "crash_dropped": int(counters.get("runtime_crash_dropped", 0)),
+            "breaker_opens": sum(b.opens for b in breakers),
+            "breaker_closes": sum(b.closes for b in breakers),
+            "breaker_fastfails": int(counters.get("runtime_breaker_fastfail", 0)),
+            "breakers_open_now": sum(
+                1 for b in breakers if b.state != b.CLOSED
+            ),
+            "backpressure_drops": int(
+                getattr(self.transport, "backpressure_drops", 0)
+            ),
         }
 
     # -- RPCs --------------------------------------------------------------

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.reliability import CircuitOpenError
+from repro.runtime.node import PeerBusy
 from repro.workloads.generator import poisson_arrivals, uniform_points
 
 
@@ -66,6 +68,13 @@ class LoadReport:
     retries: int = 0
     #: wall milliseconds slept in retry backoff across the run
     backoff_ms: float = 0.0
+    #: requests that ultimately failed with a BUSY shed (subset of
+    #: ``errors``; BUSY retries that then succeeded are not errors)
+    busy_errors: int = 0
+    #: requests refused locally by an open circuit breaker
+    breaker_fastfails: int = 0
+    #: server-side data-lane sheds observed during this run
+    shed: int = 0
 
     @property
     def succeeded(self) -> int:
@@ -109,6 +118,11 @@ class LoadReport:
             # time out), so they live under the wall contract too
             "wall_retries": self.retries,
             "wall_backoff_ms": self.backoff_ms,
+            # overload reactions are wall-race-dependent as well: which
+            # requests get shed depends on queue depths at arrival time
+            "wall_busy_errors": self.busy_errors,
+            "wall_breaker_fastfails": self.breaker_fastfails,
+            "wall_shed": self.shed,
         }
 
 
@@ -169,6 +183,8 @@ async def run_load(
     policy = getattr(cluster.config, "retry", None)
     retries_before = 0 if policy is None else policy.retries
     backoff_before = 0.0 if policy is None else policy.backoff_slept_ms
+    telemetry = cluster.network.telemetry
+    shed_before = telemetry.event_counts.get("runtime_shed", 0)
 
     async def issue(index: int) -> None:
         began = time.perf_counter()
@@ -179,6 +195,21 @@ async def run_load(
             else:
                 source, dest = requests[index]
                 await cluster.route(source, dest)
+        except CircuitOpenError:
+            # the overload reaction working as designed: refused
+            # locally, near-zero latency, no load on the hot peer
+            report.errors += 1
+            report.breaker_fastfails += 1
+            report.error_latencies_ms.append(
+                (time.perf_counter() - began) * 1000.0
+            )
+        except PeerBusy:
+            # shed server-side and still BUSY after the retry budget
+            report.errors += 1
+            report.busy_errors += 1
+            report.error_latencies_ms.append(
+                (time.perf_counter() - began) * 1000.0
+            )
         except Exception:
             report.errors += 1
             report.error_latencies_ms.append(
@@ -188,12 +219,6 @@ async def run_load(
             report.latencies_ms.append((time.perf_counter() - began) * 1000.0)
 
     start_time = loop.time()
-
-    async def fire(index: int) -> None:
-        delay = start_time + float(arrivals[index]) - loop.time()
-        if delay > 0.0:
-            await asyncio.sleep(delay)
-        await issue(index)
 
     async def worker(indices) -> None:
         for index in indices:  # shared iterator: each worker pulls the next
@@ -206,13 +231,23 @@ async def run_load(
             *(worker(indices) for _ in range(min(concurrency, count)))
         )
     else:
-        await asyncio.gather(*(fire(i) for i in range(count)))
+        # open loop as a single pacer: spawn each request's task at its
+        # arrival time instead of pre-spawning `count` sleeping tasks
+        # up front -- at several times capacity that pre-spawn is tens
+        # of thousands of timers before the first request even fires
+        pending = []
+        for index in range(count):
+            delay = start_time + float(arrivals[index]) - loop.time()
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            pending.append(loop.create_task(issue(index)))
+        await asyncio.gather(*pending)
     report.wall_duration_s = time.perf_counter() - wall_began
     if policy is not None:
         report.retries = int(policy.retries - retries_before)
         report.backoff_ms = float(policy.backoff_slept_ms - backoff_before)
+    report.shed = int(telemetry.event_counts.get("runtime_shed", 0) - shed_before)
 
-    telemetry = cluster.network.telemetry
     telemetry.count("loadgen_ops", report.ops)
     telemetry.count("loadgen_errors", report.errors)
     if report.retries:

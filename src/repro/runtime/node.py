@@ -1,22 +1,48 @@
 """One overlay member as a run-to-completion async actor.
 
-A :class:`NodeProcess` owns an address on the transport, a FIFO
+A :class:`NodeProcess` owns an address on the transport, a two-lane
 mailbox, and (once joined) an overlay node id.  Frames dispatch one
 at a time in mailbox order, so all overlay-state access from a node
 is serialized -- the actor model's usual guarantee.  Responses
-(ACK / ERROR) bypass the mailbox and resolve the pending request
-future directly: a node awaiting a reply never deadlocks behind its
-own queue.
+(ACK / ERROR / BUSY) bypass the mailbox and resolve the pending
+request future directly: a node awaiting a reply never deadlocks
+behind its own queue.
 
-Dispatch is *run-to-completion*: an idle actor drains its mailbox
-inline on the delivering task's stack instead of waking a dedicated
-run-loop task, which removes an event-loop round trip from every hop
-on the routing hot path.  A busy actor (``_draining``) just enqueues
--- the active drain picks the frame up, preserving serialization.
-Deep loopback chains (each inline hop nests the Python stack) spill
-to a scheduled drain task past :attr:`NodeProcess.MAX_INLINE_DEPTH`
-so a pathological ``max_hops``-length route cannot overflow the
+Overload protection (PR 8) splits the mailbox into two lanes:
+
+* the **control lane** (HEARTBEAT, JOIN) is unbounded and drained
+  first, so liveness probes and membership traffic keep flowing no
+  matter how much data traffic piles up -- an overloaded node must
+  stay distinguishable from a crashed one;
+* the **data lane** (ROUTE, LOOKUP, PUBLISH) is capped at
+  ``ClusterConfig.mailbox_cap``.  A frame that would overflow it is
+  *shed*: dropped, counted (``runtime_shed``), and answered with a
+  BUSY frame to the request origin so the client backs off instead
+  of waiting out a timeout.  ``shed_policy="oldest"`` drops the head
+  of the queue (the arrival is admitted -- freshest work survives),
+  ``"newest"`` refuses the arrival itself.
+
+Dispatch is *run-to-completion* on the forwarding path: a nested
+inline hop (one actor handing a ROUTE to the next on the same stack)
+drains the receiving mailbox inline, which removes an event-loop
+round trip from every hop.  *Ingress* deliveries -- the outermost
+frame of a chain -- instead enqueue and kick a single drain task per
+actor, and that task yields to the event loop every
+:attr:`NodeProcess.YIELD_EVERY` frames: without that decoupling a
+saturating data flood would run each request to completion on the
+arrival stack, the lanes would never fill, and heartbeats would
+starve behind the ready queue rather than the mailbox.  Chains
+deeper than :attr:`NodeProcess.MAX_INLINE_DEPTH` spill to the drain
+task as before, keeping a ``max_hops``-length route clear of the
 interpreter's recursion limit.
+
+Client-side reaction lives in :meth:`NodeProcess.request`: BUSY
+replies retry on a decorrelated-jitter schedule, a per-peer
+:class:`~repro.core.reliability.CircuitBreaker` fast-fails locally
+after ``breaker_threshold`` consecutive BUSY/timeout failures, and
+per-peer Jacobson RTO (:class:`~repro.core.reliability.AdaptiveTimeout`)
+replaces the static request timeout for data traffic once RTT
+samples exist.
 
 Routing is hop-by-hop over the wire: each actor makes exactly one
 forwarding decision (:meth:`EcanOverlay.next_hop`, the fault-free
@@ -33,6 +59,12 @@ import asyncio
 import itertools
 from collections import deque
 
+from repro.core.reliability import (
+    AdaptiveTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    DecorrelatedJitter,
+)
 from repro.runtime.transport import TransportError
 from repro.runtime.wire import Frame, MsgType
 from repro.softstate.maps import Region
@@ -41,6 +73,12 @@ from repro.softstate.maps import Region
 #: kind -> kind.name (enum ``.name`` is a descriptor; skip it per frame)
 _KIND_NAME = {member: member.name for member in MsgType}
 
+#: never shed, drained before any data frame
+_CONTROL_KINDS = frozenset({MsgType.HEARTBEAT, MsgType.JOIN})
+
+#: capped lane; sheds answer BUSY to the request origin
+_DATA_KINDS = frozenset({MsgType.ROUTE, MsgType.LOOKUP, MsgType.PUBLISH})
+
 
 class RemoteError(Exception):
     """A peer answered with an ERROR frame."""
@@ -48,6 +86,10 @@ class RemoteError(Exception):
 
 class RequestTimeout(Exception):
     """No reply arrived within the request deadline."""
+
+
+class PeerBusy(Exception):
+    """A peer shed the request from a full data lane (BUSY frame)."""
 
 
 class NodeProcess:
@@ -59,16 +101,26 @@ class NodeProcess:
         #: overlay node id (int) once a member
         self.addr = addr
         self.host = host
-        self.mailbox: deque = deque()
-        #: request_id -> Future awaiting an ACK/ERROR
+        #: HEARTBEAT/JOIN frames; unbounded, drained first
+        self.control_lane: deque = deque()
+        #: ROUTE/LOOKUP/PUBLISH frames; capped at config.mailbox_cap
+        self.data_lane: deque = deque()
+        #: request_id -> Future awaiting an ACK/ERROR/BUSY
         self.pending: dict = {}
         self._req_ids = itertools.count(1)
         self._draining = False
+        self._drain_task = None
         self._stopped = True
         #: frames this actor processed, by kind name (diagnostics)
         self.handled: dict = {}
         #: request attempts this actor resent under its retry policy
         self.retries = 0
+        #: BUSY replies this actor retried after backoff
+        self.busy_retries = 0
+        #: dst -> CircuitBreaker (data-kind requests only)
+        self._breakers: dict = {}
+        #: dst -> AdaptiveTimeout (data-kind requests only)
+        self._rtos: dict = {}
 
     @property
     def node_id(self):
@@ -79,6 +131,11 @@ class NodeProcess:
     def transport(self):
         return self.cluster.transport
 
+    @property
+    def mailbox_depth(self) -> int:
+        """Total queued frames across both lanes (diagnostics)."""
+        return len(self.control_lane) + len(self.data_lane)
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
@@ -87,21 +144,28 @@ class NodeProcess:
 
     async def stop(self) -> None:
         # an in-flight drain (running on whichever task delivered the
-        # frame) halts before its next dispatch; queued frames drop,
-        # matching the old cancel-the-run-loop semantics
+        # frame) halts before its next dispatch; queued frames drop --
+        # visibly: each cleared frame counts as runtime_crash_dropped
+        # so a crash can never silently eat queued work
         self._stopped = True
-        self.mailbox.clear()
-        await self.transport.unbind(self.addr)
-        # fail pending requests rather than cancelling them: a
-        # CancelledError is a BaseException and would tear straight
-        # through an awaiting load generator's error handling, turning
-        # a crashed peer into a crashed workload
-        for future in self.pending.values():
+        dropped = len(self.control_lane) + len(self.data_lane)
+        if dropped:
+            self.cluster.network.telemetry.bump("runtime_crash_dropped", dropped)
+        self.control_lane.clear()
+        self.data_lane.clear()
+        # fail pending requests *before* the unbind await: callers
+        # learn of the crash immediately instead of racing the event
+        # loop until their timeout.  Failing (not cancelling) keeps a
+        # CancelledError -- a BaseException -- from tearing through an
+        # awaiting load generator's error handling.
+        pending = list(self.pending.values())
+        self.pending.clear()
+        for future in pending:
             if not future.done():
                 future.set_exception(
                     TransportError(f"node {self.addr!r} stopped")
                 )
-        self.pending.clear()
+        await self.transport.unbind(self.addr)
 
     async def rebind(self, addr, host: int = None) -> None:
         """Adopt a new address (temporary joiner -> member node id)."""
@@ -119,25 +183,81 @@ class NodeProcess:
     MAX_INLINE_DEPTH = 64
     _inline_depth = 0
 
+    #: an outermost drain task yields to the event loop this often so
+    #: transport deliveries (heartbeats!) interleave with a deep drain
+    YIELD_EVERY = 32
+
     async def on_frame(self, frame: Frame) -> None:
         """Transport delivery callback."""
-        if frame.kind in (MsgType.ACK, MsgType.ERROR):
+        kind = frame.kind
+        if kind is MsgType.ACK or kind is MsgType.ERROR or kind is MsgType.BUSY:
             future = self.pending.pop(frame.request_id, None)
             if future is not None and not future.done():
-                if frame.kind is MsgType.ERROR:
+                if kind is MsgType.ACK:
+                    future.set_result(frame.payload)
+                elif kind is MsgType.BUSY:
+                    future.set_exception(
+                        PeerBusy(
+                            f"peer {frame.payload.get('from')!r} shed "
+                            f"{frame.payload.get('shed', 'request')}"
+                        )
+                    )
+                else:
                     future.set_exception(
                         RemoteError(frame.payload.get("error", "remote error"))
                     )
-                else:
-                    future.set_result(frame.payload)
             return
-        self.mailbox.append(frame)
-        if self._draining or self._stopped:
-            return  # the active drain picks it up / actor is gone
-        if NodeProcess._inline_depth < self.MAX_INLINE_DEPTH:
+        if self._stopped:
+            return  # the actor is gone; arrivals drop on the floor
+        if kind in _CONTROL_KINDS:
+            self.control_lane.append(frame)
+        else:
+            cap = self.cluster.config.mailbox_cap
+            lane = self.data_lane
+            if cap is not None and len(lane) >= cap:
+                if self.cluster.config.shed_policy == "oldest":
+                    # admit the arrival, shed the head: under sustained
+                    # overload the freshest work is the likeliest to
+                    # still have a waiting client
+                    await self._shed(lane.popleft())
+                    lane.append(frame)
+                else:  # "newest": refuse the arrival itself
+                    await self._shed(frame)
+            else:
+                lane.append(frame)
+        if self._draining:
+            return  # the active drain picks it up
+        depth = NodeProcess._inline_depth
+        if 0 < depth < self.MAX_INLINE_DEPTH:
+            # nested hop of an in-flight chain: run to completion on
+            # the delivering stack (the per-hop fast path)
             await self._drain()
         else:
-            asyncio.get_running_loop().create_task(self._drain())
+            # ingress (depth 0) or too-deep chain: decouple from the
+            # arrival stack so floods queue in the *lanes* (where the
+            # cap and shed policy apply) instead of the ready queue
+            self._kick()
+
+    def _kick(self) -> None:
+        """Ensure exactly one scheduled drain task is alive."""
+        task = self._drain_task
+        if task is not None and not task.done():
+            return
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _shed(self, frame: Frame) -> None:
+        """Drop ``frame`` from a full data lane and tell its origin."""
+        self.cluster.network.telemetry.bump("runtime_shed")
+        src = frame.payload.get("src")
+        if src is not None:
+            await self.transport.send(
+                self.addr,
+                src,
+                frame.reply(
+                    {"from": self.addr, "shed": _KIND_NAME[frame.kind]},
+                    kind=MsgType.BUSY,
+                ),
+            )
 
     #: dispatch-error reprs kept per actor before truncation
     MAX_ERROR_REPRS = 16
@@ -146,10 +266,17 @@ class NodeProcess:
         if self._draining:  # single-threaded loop: check-and-set is atomic
             return
         self._draining = True
+        outermost = NodeProcess._inline_depth == 0
         NodeProcess._inline_depth += 1
+        processed = 0
         try:
-            while self.mailbox and not self._stopped:
-                frame = self.mailbox.popleft()
+            while not self._stopped:
+                if self.control_lane:
+                    frame = self.control_lane.popleft()
+                elif self.data_lane:
+                    frame = self.data_lane.popleft()
+                else:
+                    break
                 name = _KIND_NAME[frame.kind]
                 self.handled[name] = self.handled.get(name, 0) + 1
                 try:
@@ -174,9 +301,39 @@ class NodeProcess:
                                 {"error": repr(exc)}, kind=MsgType.ERROR
                             ),
                         )
+                processed += 1
+                if outermost and processed % self.YIELD_EVERY == 0:
+                    # let queued transport deliveries land; control
+                    # frames they bring are drained first on resume
+                    await asyncio.sleep(0)
         finally:
             NodeProcess._inline_depth -= 1
             self._draining = False
+
+    # -- client side -------------------------------------------------------
+
+    def _breaker_for(self, dst):
+        config = self.cluster.config
+        if not config.breaker_threshold:
+            return None
+        breaker = self._breakers.get(dst)
+        if breaker is None:
+            breaker = self._breakers[dst] = CircuitBreaker(
+                threshold=config.breaker_threshold,
+                reset_timeout_s=config.breaker_reset_s,
+            )
+        return breaker
+
+    def _rto_for(self, dst):
+        rto = self._rtos.get(dst)
+        if rto is None:
+            config = self.cluster.config
+            rto = self._rtos[dst] = AdaptiveTimeout(
+                initial_s=config.request_timeout,
+                min_s=min(config.rto_min_s, config.request_timeout),
+                max_s=config.request_timeout,
+            )
+        return rto
 
     async def request(
         self, dst, kind: MsgType, payload: dict, timeout=None, retry=None
@@ -192,30 +349,86 @@ class NodeProcess:
         instance accumulates the retry/backoff accounting, giving
         cluster-wide counters for free.  A :class:`RemoteError` is
         never retried: the peer answered, it just said no.
+
+        Data-kind requests additionally react to overload: a BUSY
+        shed retries up to ``ClusterConfig.busy_retries`` times on a
+        decorrelated-jitter schedule (separate from the loss-retry
+        budget -- a shed is *positive* evidence the peer is alive),
+        consecutive BUSY/timeout failures trip the per-peer circuit
+        breaker, and while the breaker is open the request fast-fails
+        locally with :class:`~repro.core.reliability.CircuitOpenError`
+        instead of piling more load on the struggling peer.
         """
         if retry is None:
             retry = self.cluster.config.retry
         attempts = 1 if retry in (None, False) else retry.max_attempts
-        failure = None
-        for attempt in range(attempts):
+        config = self.cluster.config
+        telemetry = self.cluster.network.telemetry
+        data_kind = kind in _DATA_KINDS
+        breaker = self._breaker_for(dst) if data_kind else None
+        if breaker is not None and not breaker.allow():
+            telemetry.bump("runtime_breaker_fastfail")
+            raise CircuitOpenError(dst, breaker.retry_after_s())
+        busy_budget = config.busy_retries if data_kind else 0
+        jitter = None
+        attempt = 0
+        while True:
             try:
-                return await self._request_once(dst, kind, payload, timeout)
-            except (TransportError, RequestTimeout) as exc:
-                failure = exc
-                if attempt + 1 < attempts:
-                    self.retries += 1
-                    delay_ms = retry.sleep(attempt)
-                    if delay_ms > 0.0:
-                        await asyncio.sleep(delay_ms / 1000.0)
-        raise failure
+                result = await self._request_once(dst, kind, payload, timeout)
+            except PeerBusy:
+                telemetry.bump("runtime_busy_reply")
+                if breaker is not None and breaker.record_failure():
+                    telemetry.bump("runtime_breaker_open")
+                if busy_budget <= 0:
+                    raise
+                busy_budget -= 1
+                self.busy_retries += 1
+                if jitter is None:
+                    jitter = DecorrelatedJitter(
+                        base_ms=config.busy_backoff_base_ms,
+                        cap_ms=config.busy_backoff_cap_ms,
+                    )
+                await asyncio.sleep(jitter.next_delay() / 1000.0)
+            except RequestTimeout:
+                if breaker is not None and breaker.record_failure():
+                    telemetry.bump("runtime_breaker_open")
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                self.retries += 1
+                delay_ms = retry.sleep(attempt - 1)
+                if delay_ms > 0.0:
+                    await asyncio.sleep(delay_ms / 1000.0)
+            except TransportError:
+                # refused sends feed the failure detector, not the
+                # breaker: a dead peer needs takeover, not backoff
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                self.retries += 1
+                delay_ms = retry.sleep(attempt - 1)
+                if delay_ms > 0.0:
+                    await asyncio.sleep(delay_ms / 1000.0)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
 
     async def _request_once(self, dst, kind: MsgType, payload: dict, timeout) -> dict:
+        config = self.cluster.config
+        rto = None
         if timeout is None:
-            timeout = self.cluster.config.request_timeout
+            if config.adaptive_timeout and kind in _DATA_KINDS:
+                rto = self._rto_for(dst)
+                timeout = rto.timeout()
+            else:
+                timeout = config.request_timeout
         request_id = next(self._req_ids)
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
         self.pending[request_id] = future
         frame = Frame(kind, request_id, {**payload, "src": self.addr})
+        started = loop.time()
         if dst == self.addr:
             # a self-addressed frame never crosses a network in any
             # real deployment, so it skips the transport (and its
@@ -231,7 +444,10 @@ class NodeProcess:
         if future.done():
             # run-to-completion dispatch often resolves the future
             # inside send(); skip wait_for's timer setup entirely
-            return future.result()
+            result = future.result()
+            if rto is not None:
+                rto.observe(loop.time() - started)
+            return result
         # a crash may fail this future after its awaiter timed out and
         # moved on; retrieve defensively so no "exception was never
         # retrieved" noise outlives the actor (a future consumed on
@@ -240,12 +456,17 @@ class NodeProcess:
             lambda f: None if f.cancelled() else f.exception()
         )
         try:
-            return await asyncio.wait_for(future, timeout)
+            result = await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
             self.pending.pop(request_id, None)
+            if rto is not None:
+                rto.backoff()
             raise RequestTimeout(
                 f"{kind.name} to {dst!r} unanswered after {timeout}s"
             ) from None
+        if rto is not None:
+            rto.observe(loop.time() - started)
+        return result
 
     # -- RPC entry points (called by the Cluster) --------------------------
 
@@ -277,7 +498,7 @@ class NodeProcess:
             await self._handle_lookup(frame)
         elif frame.kind is MsgType.HEARTBEAT:
             await self._handle_heartbeat(frame)
-        else:  # pragma: no cover - on_frame filters ACK/ERROR already
+        else:  # pragma: no cover - on_frame filters reply kinds already
             raise ValueError(f"unroutable frame kind {frame.kind!r}")
 
     async def _reply(self, frame: Frame, payload: dict, kind=None) -> None:

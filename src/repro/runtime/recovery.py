@@ -33,7 +33,7 @@ import asyncio
 import numpy as np
 
 from repro.core.recovery import DetectorParams, RecoveryManager
-from repro.runtime.node import RequestTimeout
+from repro.runtime.node import PeerBusy, RequestTimeout
 from repro.runtime.wire import MsgType
 
 
@@ -130,6 +130,14 @@ class RuntimeRecovery:
             ack = await actor.request(
                 target, MsgType.HEARTBEAT, payload, timeout=timeout, retry=False
             )
+        except PeerBusy:
+            # an overloaded peer shed the probe -- but *it answered*:
+            # only a live actor sends BUSY, so this is alive evidence,
+            # never grounds for suspicion (overload must stay
+            # distinguishable from death).  Unreachable today --
+            # HEARTBEAT rides the unshed control lane -- but kept so
+            # no future lane change can turn load into a crash verdict.
+            return True
         except RequestTimeout:
             return None  # late, not absent
         except Exception:

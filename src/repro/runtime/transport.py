@@ -213,9 +213,18 @@ class TcpTransport(Transport):
         faults=None,
         encoding: str = "json",
         interface: str = "127.0.0.1",
+        outbox_cap: int = 8192,
     ):
         super().__init__(oracle, latency_scale, faults, encoding)
+        if outbox_cap is not None and outbox_cap < 1:
+            raise ValueError("outbox_cap must be >= 1 (or None for unbounded)")
         self.interface = interface
+        #: per-destination write-queue cap in frames: a peer whose
+        #: flusher cannot keep up stops ballooning sender memory --
+        #: overflow frames drop (send returns False) and count below
+        self.outbox_cap = outbox_cap
+        #: frames dropped because a destination's outbox was full
+        self.backpressure_drops = 0
         self._servers: dict = {}
         #: address book: addr -> (interface, port)
         self.endpoints: dict = {}
@@ -323,6 +332,12 @@ class TcpTransport(Transport):
         if batch is None:
             self._outbox[dst] = [data]
             self._spawn(self._flush(dst))
+        elif self.outbox_cap is not None and len(batch) >= self.outbox_cap:
+            # the flusher is behind by a full cap: refuse the frame
+            # instead of queueing unbounded sender-side memory
+            self.backpressure_drops += 1
+            self.dropped += 1
+            return False
         else:
             batch.append(data)
         return True

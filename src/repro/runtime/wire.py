@@ -32,6 +32,16 @@ Version 1 readers never see packed frames they cannot parse (the flag
 bit doubles as an unknown-type byte there), and version 2 readers
 accept v1 JSON frames unchanged, so the bump is compatible.
 
+Version 3 adds one frame kind: **BUSY**, an overload-shed
+notification correlated to the request it sheds (see
+:mod:`repro.runtime.node` -- a full data-lane mailbox drops a frame
+and answers BUSY so the requester backs off instead of waiting out a
+timeout).  BUSY always rides as JSON.  The header layout, the packed
+schemas and every v1/v2 frame are unchanged, so v3 readers decode
+v2 (and v1) traffic byte-for-byte; a v2 reader that receives a BUSY
+frame rejects only that frame's type byte, exactly as it rejects any
+other unknown kind.
+
 Decoding is strict: bad magic, unknown version or message type, an
 oversized length, malformed JSON, a malformed packed layout, or a
 truncated buffer all raise :class:`ProtocolError` -- never a hang,
@@ -53,7 +63,7 @@ from dataclasses import dataclass, field
 MAGIC = b"RW"
 
 #: wire format version (bump on any incompatible header/payload change)
-WIRE_VERSION = 2
+WIRE_VERSION = 3
 
 #: oldest version this build still decodes (v1 frames are plain JSON)
 MIN_WIRE_VERSION = 1
@@ -82,6 +92,9 @@ class MsgType(enum.IntEnum):
     HEARTBEAT = 5
     ACK = 6
     ERROR = 7
+    #: overload shed notification (wire v3): the peer dropped the
+    #: correlated request from a full data lane instead of serving it
+    BUSY = 8
 
 
 #: type-byte -> MsgType, resolved without an enum-constructor call

@@ -56,6 +56,45 @@ class TestCommands:
         assert "latency: p50" in out
         assert "verify-against-sim: ok" in out
 
+    def test_cluster_overload_flags_reach_config(self):
+        from repro.cli import _cluster_config
+
+        args = build_parser().parse_args(
+            [
+                "cluster",
+                "--nodes", "8",
+                "--mailbox-cap", "64",
+                "--shed-policy", "newest",
+                "--breaker-threshold", "3",
+                "--no-adaptive-timeout",
+            ]
+        )
+        config = _cluster_config(args)
+        assert config.mailbox_cap == 64
+        assert config.shed_policy == "newest"
+        assert config.breaker_threshold == 3
+        assert config.adaptive_timeout is False
+
+    def test_cluster_overload_flag_defaults(self):
+        from repro.cli import _cluster_config
+
+        args = build_parser().parse_args(["cluster", "--nodes", "8"])
+        config = _cluster_config(args)
+        assert config.mailbox_cap == 1024
+        assert config.shed_policy == "oldest"
+        assert config.breaker_threshold == 8
+        assert config.adaptive_timeout is True
+
+    def test_cluster_mailbox_cap_zero_means_unbounded(self):
+        from repro.cli import _cluster_config
+
+        args = build_parser().parse_args(["cluster", "--mailbox-cap", "0"])
+        assert _cluster_config(args).mailbox_cap is None
+
+    def test_cluster_rejects_unknown_shed_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--shed-policy", "random"])
+
     def test_run_with_profile(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "quick")
         assert main(["run", "gaps", "--profile", "--profile-top", "5"]) == 0

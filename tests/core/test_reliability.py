@@ -227,3 +227,180 @@ class TestSpikedFill:
             policy=RetryPolicy(max_attempts=2, base_delay=1.0),
         )
         assert vector[0] == 50.0
+
+
+class FakeClock:
+    """Monotonic clock a test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=1.0):
+        from repro.core.reliability import CircuitBreaker
+
+        clock = FakeClock()
+        return CircuitBreaker(threshold=threshold, reset_timeout_s=reset, clock=clock), clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # this call opened it
+        assert breaker.state == breaker.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+        assert breaker.fast_fails == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == breaker.CLOSED  # streak broke; not 2 in a row
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, reset=1.0)
+        breaker.record_failure()
+        assert breaker.state == breaker.OPEN
+        clock.advance(1.5)
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == breaker.HALF_OPEN
+        assert not breaker.allow()  # only one probe in flight
+        breaker.record_success()
+        assert breaker.state == breaker.CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make(threshold=1, reset=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # straight back to open
+        assert breaker.state == breaker.OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()  # fresh window, not expired yet
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = self.make(threshold=1, reset=2.0)
+        assert breaker.retry_after_s() == 0.0  # closed
+        breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert breaker.retry_after_s() == pytest.approx(0.5)
+
+    def test_validation(self):
+        from repro.core.reliability import CircuitBreaker
+
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout_s"):
+            CircuitBreaker(reset_timeout_s=0.0)
+
+
+class TestDecorrelatedJitter:
+    def test_delays_stay_within_base_and_cap(self):
+        import random
+
+        from repro.core.reliability import DecorrelatedJitter
+
+        jitter = DecorrelatedJitter(base_ms=2.0, cap_ms=50.0, rng=random.Random(7))
+        delays = [jitter.next_delay() for _ in range(200)]
+        assert all(2.0 <= d <= 50.0 for d in delays)
+        assert max(delays) == 50.0  # the ladder does reach the cap
+
+    def test_ladder_grows_from_previous_delay(self):
+        import random
+
+        from repro.core.reliability import DecorrelatedJitter
+
+        jitter = DecorrelatedJitter(base_ms=2.0, cap_ms=10_000.0, rng=random.Random(3))
+        prev = 2.0
+        for _ in range(20):
+            delay = jitter.next_delay()
+            assert 2.0 <= delay <= prev * 3.0
+            prev = delay
+
+    def test_reset_returns_to_base(self):
+        import random
+
+        from repro.core.reliability import DecorrelatedJitter
+
+        jitter = DecorrelatedJitter(base_ms=2.0, cap_ms=1000.0, rng=random.Random(5))
+        for _ in range(10):
+            jitter.next_delay()
+        jitter.reset()
+        assert jitter.next_delay() <= 6.0  # uniform(base, base*3)
+
+    def test_validation(self):
+        from repro.core.reliability import DecorrelatedJitter
+
+        with pytest.raises(ValueError, match="base_ms"):
+            DecorrelatedJitter(base_ms=0.0)
+        with pytest.raises(ValueError, match="cap_ms"):
+            DecorrelatedJitter(base_ms=10.0, cap_ms=5.0)
+
+
+class TestAdaptiveTimeout:
+    def test_cold_start_uses_the_initial_timeout(self):
+        from repro.core.reliability import AdaptiveTimeout
+
+        rto = AdaptiveTimeout(initial_s=30.0, min_s=0.25)
+        assert rto.timeout() == 30.0
+        assert rto.samples == 0
+
+    def test_first_sample_seeds_jacobson_state(self):
+        from repro.core.reliability import AdaptiveTimeout
+
+        rto = AdaptiveTimeout(initial_s=30.0, min_s=0.01)
+        rto.observe(0.1)
+        assert rto.srtt == pytest.approx(0.1)
+        assert rto.rttvar == pytest.approx(0.05)
+        # srtt + 4 * rttvar = 0.3
+        assert rto.timeout() == pytest.approx(0.3)
+
+    def test_timeout_tracks_ewma_and_clamps(self):
+        from repro.core.reliability import AdaptiveTimeout
+
+        rto = AdaptiveTimeout(initial_s=30.0, min_s=0.25)
+        for _ in range(50):
+            rto.observe(0.001)  # 1 ms RTTs: raw RTO would be ~5 ms
+        assert rto.timeout() == pytest.approx(0.25)  # clamped to the floor
+        rto_hi = AdaptiveTimeout(initial_s=2.0, min_s=0.25)
+        for _ in range(50):
+            rto_hi.observe(10.0)  # slower than the ceiling allows
+        assert rto_hi.timeout() == pytest.approx(2.0)  # clamped to max_s
+
+    def test_karn_backoff_doubles_and_success_collapses(self):
+        from repro.core.reliability import AdaptiveTimeout
+
+        rto = AdaptiveTimeout(initial_s=8.0, min_s=0.25)
+        rto.observe(0.5)
+        base = rto.timeout()
+        rto.backoff()
+        assert rto.timeout() == pytest.approx(min(8.0, base * 2.0))
+        rto.backoff()
+        assert rto.timeout() == pytest.approx(min(8.0, base * 4.0))
+        rto.observe(0.5)  # a fresh sample collapses the backoff
+        assert rto.timeout() < base * 2.0
+
+    def test_validation(self):
+        from repro.core.reliability import AdaptiveTimeout
+
+        with pytest.raises(ValueError, match="initial_s"):
+            AdaptiveTimeout(initial_s=0.0)
+        with pytest.raises(ValueError, match="min_s"):
+            AdaptiveTimeout(initial_s=1.0, min_s=0.0)
+        with pytest.raises(ValueError, match="max_s"):
+            AdaptiveTimeout(initial_s=1.0, min_s=2.0, max_s=1.0)
+        rto = AdaptiveTimeout(initial_s=1.0)
+        with pytest.raises(ValueError, match="rtt_s"):
+            rto.observe(-1.0)

@@ -290,3 +290,59 @@ class TestTcpSpecifics:
         closing, stale = run(scenario())
         assert closing, "displaced writer must be closed"
         assert not stale, "unbind must drop the cached writer"
+
+
+class TestOutboxBackpressure:
+    def test_outbox_cap_refuses_overflow_frames(self):
+        """A full per-peer write queue drops (and counts) new frames.
+
+        The flusher task spawned by the first send has not run yet, so
+        every later send in the same event-loop turn lands in the same
+        batch -- deterministic overflow without a slow peer.
+        """
+
+        async def scenario():
+            transport = TcpTransport(outbox_cap=4)
+            await transport.start()
+            inbox = Collector()
+            await transport.bind("rx", inbox)
+            await transport.bind("tx", Collector())
+            results = [
+                await transport.send(
+                    "tx", "rx", Frame(MsgType.HEARTBEAT, seq + 1, {"seq": seq})
+                )
+                for seq in range(6)
+            ]
+            await inbox.wait(4)
+            await transport.close()
+            return results, transport.backpressure_drops, len(inbox.frames)
+
+        results, backpressure, delivered = run(scenario())
+        # send 0 seeds the batch and spawns the flusher; 1-3 fill the
+        # cap; 4 and 5 are refused
+        assert results == [True, True, True, True, False, False]
+        assert backpressure == 2
+        assert delivered == 4
+
+    def test_uncapped_outbox_still_accepts_everything(self):
+        async def scenario():
+            transport = TcpTransport(outbox_cap=None)
+            await transport.start()
+            inbox = Collector()
+            await transport.bind("rx", inbox)
+            await transport.bind("tx", Collector())
+            for seq in range(64):
+                assert await transport.send(
+                    "tx", "rx", Frame(MsgType.HEARTBEAT, seq + 1, {"seq": seq})
+                )
+            await inbox.wait(64)
+            await transport.close()
+            return transport.backpressure_drops, len(inbox.frames)
+
+        backpressure, delivered = run(scenario())
+        assert backpressure == 0
+        assert delivered == 64
+
+    def test_outbox_cap_validation(self):
+        with pytest.raises(ValueError, match="outbox_cap"):
+            TcpTransport(outbox_cap=0)

@@ -31,6 +31,7 @@ SAMPLE_PAYLOADS = {
     MsgType.HEARTBEAT: {"seq": 41, "src": 2},
     MsgType.ACK: {"owner": 5, "path": [1, 5], "hops": 1},
     MsgType.ERROR: {"error": "route stuck after 3 hops"},
+    MsgType.BUSY: {"from": 5, "shed": "ROUTE"},
 }
 
 
@@ -77,6 +78,27 @@ class TestMalformedFrames:
         bad = HEADER.pack(MAGIC, WIRE_VERSION + 1, int(MsgType.ACK), 1, 2) + b"{}"
         with pytest.raises(ProtocolError, match="unsupported wire version"):
             decode_frame(bad)
+
+    def test_v2_frames_still_decode(self):
+        """A v3 reader accepts v2 traffic byte-for-byte (back compat)."""
+        body = json.dumps({"owner": 5}, separators=(",", ":")).encode()
+        v2 = HEADER.pack(MAGIC, 2, int(MsgType.ACK), 7, len(body)) + body
+        decoded = decode_frame(v2)
+        assert decoded.kind is MsgType.ACK
+        assert decoded.payload == {"owner": 5}
+
+    def test_busy_frame_is_unknown_to_v2_readers_only_by_type(self):
+        """BUSY is the one v3 addition: its *type byte* is what a v2
+        reader would reject; nothing about the header layout moved."""
+        frame = Frame(MsgType.BUSY, 3, SAMPLE_PAYLOADS[MsgType.BUSY])
+        data = encode_frame(frame)
+        magic, version, type_byte, request_id, length = HEADER.unpack(
+            data[: HEADER.size]
+        )
+        assert magic == MAGIC
+        assert version == WIRE_VERSION == 3
+        assert type_byte == int(MsgType.BUSY)
+        assert not type_byte & PACKED_FLAG  # BUSY always rides as JSON
 
     def test_oversized_declared_length(self):
         bad = HEADER.pack(
