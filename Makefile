@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke soak-smoke overload-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke shard-smoke soak-smoke overload-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -44,6 +44,15 @@ bench-smoke:
 runtime-smoke:
 	$(PYTHON) scripts/runtime_smoke.py
 
+# The sharded-runtime acceptance scenario: 64 nodes across 4 worker
+# processes (one event loop each, cross-shard frames over TCP peering
+# sockets), held to the identical sim-parity bar as the single-process
+# runtime, plus a closed-loop throughput sanity gate and a check that
+# cross-shard traffic actually flowed.  Leaves
+# benchmarks/out/shard/shard_smoke.json.
+shard-smoke:
+	$(PYTHON) scripts/shard_smoke.py --json benchmarks/out/shard/shard_smoke.json
+
 # The self-stabilization gate: CI-sized churn soak in both execution
 # modes.  A sim overlay and a live loopback cluster take continuous
 # join/leave/crash/partition churn plus adversarial state corruption
@@ -82,6 +91,7 @@ ci:
 		benchmarks/bench_ext_fault_injection.py -q --benchmark-disable
 	$(MAKE) chaos-smoke
 	$(MAKE) runtime-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) overload-smoke
 	$(MAKE) bench-smoke

@@ -67,7 +67,8 @@ async def smoke(
         print(
             f"load: {report.ops} lookups, {report.errors} errors, "
             f"p50 {pct['p50']:.3f} ms, p99 {pct['p99']:.3f} ms, "
-            f"{report.achieved_rate:.0f} ops/s achieved"
+            f"{report.achieved_rate:.0f} ops/s achieved "
+            f"({report.loop} loop)"
         )
         verdict = await cluster.verify_against_sim(
             lookups=256, routes=64, seed=seed
@@ -102,7 +103,19 @@ def main(argv=None) -> int:
         default="both",
         help="payload encoding(s) to smoke (default both)",
     )
+    parser.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="install the uvloop event-loop policy first (hard-fails "
+        "if uvloop is not importable: the flag exists so CI can pin "
+        "the leg to the loop it thinks it is testing)",
+    )
     args = parser.parse_args(argv)
+    if args.uvloop:
+        import uvloop  # the CI leg must fail loudly, not fall back
+
+        uvloop.install()
+        print(f"event loop policy: uvloop {uvloop.__version__}")
     encodings = (
         ("json", "packed") if args.encoding == "both" else (args.encoding,)
     )

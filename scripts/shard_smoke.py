@@ -1,0 +1,141 @@
+"""Shard smoke: 64 nodes across 4 worker processes, parity + throughput.
+
+The acceptance scenario for the sharded multi-process runtime
+(``src/repro/runtime/shard.py``), run by ``make shard-smoke`` and CI:
+
+* boot a 64-node overlay partitioned across 4 shard workers (one
+  event loop per process), cross-shard frames riding the TCP peering
+  sockets;
+* hold the sharded cluster to the *identical* sim-parity bar as the
+  single-process runtime: a seeded lookup+route workload must produce
+  bit-identical owners and endpoints against an independently built
+  synchronous simulator;
+* drive a closed-loop packed load and require zero errors plus a
+  sanity throughput floor (generous: this is a smoke, not a bench --
+  the calibrated numbers live in ``benchmarks/bench_perf_runtime.py``);
+* check that cross-shard traffic actually flowed (a sharding bug that
+  silently kept every hop local would otherwise pass).
+
+Writes a JSON report (for the CI artifact) when ``--json`` is given
+and exits non-zero on any error, parity mismatch, or gate failure.
+
+Usage::
+
+    python scripts/shard_smoke.py                     # 64 nodes, 4 shards
+    python scripts/shard_smoke.py --shards 2 --nodes 32
+    python scripts/shard_smoke.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import NetworkParams, OverlayParams  # noqa: E402
+from repro.runtime import ClusterConfig, ShardedCluster  # noqa: E402
+
+#: ops/s floor for the closed-loop sanity gate -- far below what even
+#: a single busy core sustains, so only a real stall trips it
+MIN_THROUGHPUT = 500.0
+
+
+async def smoke(nodes: int, shards: int, lookups: int, seed: int) -> dict:
+    config = ClusterConfig(
+        nodes=nodes,
+        network=NetworkParams(topo_scale=0.25, seed=seed),
+        overlay=OverlayParams(num_nodes=nodes, seed=seed),
+        transport="loopback",
+        wire_encoding="packed",
+        shards=shards,
+    )
+    async with ShardedCluster(config) as cluster:
+        boot = cluster.boot_report()
+        print(
+            f"booted {len(cluster)} nodes across {shards} shards "
+            f"(owned: {boot['owned_per_shard']})"
+        )
+        verdict = await cluster.verify_against_sim(
+            lookups=256, routes=64, seed=seed
+        )
+        print(
+            f"parity vs synchronous simulator: "
+            f"{verdict['mismatches']}/{verdict['checked']} mismatches"
+        )
+        report = await cluster.run_load(
+            rate=0.0, count=lookups, seed=seed, concurrency=4 * shards
+        )
+        pct = report.percentiles()
+        print(
+            f"load: {report.ops} lookups, {report.errors} errors, "
+            f"p50 {pct['p50']:.3f} ms, p99 {pct['p99']:.3f} ms, "
+            f"{report.achieved_rate:.0f} ops/s ({report.loop} loops)"
+        )
+        counters = await cluster.counters()
+    transport = counters["transport"]
+    print(
+        f"frames: {transport['local_delivered']} intra-shard, "
+        f"{transport['peer_delivered']} cross-shard"
+    )
+    return {
+        "nodes": nodes,
+        "shards": shards,
+        "owned_per_shard": boot["owned_per_shard"],
+        "wall_boot_s_per_shard": boot["wall_boot_s_per_shard"],
+        "parity": verdict,
+        "ops": report.ops,
+        "errors": report.errors,
+        "loop": report.loop,
+        "wall_throughput_ops": report.achieved_rate,
+        "wall_p50_ms": pct["p50"],
+        "wall_p99_ms": pct["p99"],
+        "frames_intra_shard": transport["local_delivered"],
+        "frames_cross_shard": transport["peer_delivered"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--lookups", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json", type=pathlib.Path, help="write the report as JSON here"
+    )
+    args = parser.parse_args(argv)
+    result = asyncio.run(
+        smoke(args.nodes, args.shards, args.lookups, args.seed)
+    )
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"report written to {args.json}")
+    failures = []
+    if result["errors"]:
+        failures.append(f"{result['errors']} lookup errors")
+    if not result["parity"]["ok"]:
+        failures.append(
+            f"{result['parity']['mismatches']} parity mismatches"
+        )
+    if result["wall_throughput_ops"] < MIN_THROUGHPUT:
+        failures.append(
+            f"throughput {result['wall_throughput_ops']:.0f} ops/s "
+            f"below the {MIN_THROUGHPUT:.0f} sanity floor"
+        )
+    if result["frames_cross_shard"] == 0:
+        failures.append("no cross-shard frames flowed")
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(f"shard smoke OK ({args.shards} shards)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -186,39 +186,44 @@ def _cluster_config(args):
         shed_policy=args.shed_policy,
         breaker_threshold=args.breaker_threshold,
         adaptive_timeout=args.adaptive_timeout,
+        shards=args.shards,
     )
 
 
 def cmd_cluster(args) -> int:
     """Boot a live cluster, drive lookups, print latency + parity."""
     import asyncio
+    import inspect
 
-    from repro.runtime import Cluster, run_load
+    from repro.runtime import make_cluster
 
     if args.uvloop:
         _install_uvloop()
     config = _cluster_config(args)
 
     async def drive():
-        cluster = Cluster(config)
+        cluster = make_cluster(config)
         await cluster.start()
         try:
-            report = await run_load(
-                cluster,
+            report = await cluster.run_load(
                 rate=args.rate,
                 count=args.lookups,
                 seed=args.seed,
                 concurrency=args.concurrency,
             )
             verdict = None
-            if not args.bulk_boot:
-                # a bulk boot shares membership and zones with the sim
-                # but builds tables against the final tessellation, so
-                # hop-for-hop parity is not expected
+            if config.shards > 1 or not args.bulk_boot:
+                # a single-process bulk boot shares membership and zones
+                # with the sim but builds tables against the final
+                # tessellation, so hop-for-hop parity is not expected;
+                # sharded replicas build the reference the same way they
+                # booted, so they verify in either mode
                 verdict = await cluster.verify_against_sim(
                     lookups=min(args.lookups, 128), routes=32, seed=args.seed
                 )
             overload = cluster.overload_counters()
+            if inspect.isawaitable(overload):  # sharded: aggregated RPC
+                overload = await overload
         finally:
             await cluster.stop()
         return report, verdict, overload
@@ -327,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="closed-loop worker pool holding N requests in flight; "
         "0 keeps the open-loop Poisson schedule (default 0)",
+    )
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to shard the membership across; 1 keeps "
+        "the classic single-process cluster (default 1)",
     )
     cluster.add_argument(
         "--uvloop",

@@ -23,6 +23,14 @@ probes, witness relays, partition shielding) and reuses the
 simulator's :class:`~repro.core.recovery.RecoveryManager` for zone
 takeover and replica re-hosting when a death is confirmed.
 
+The runtime scales past one core by sharding (DESIGN.md §13): a
+:class:`~repro.runtime.shard.ShardedCluster` partitions the
+membership across worker processes grouped by transit domain, each
+worker running its own event loop over a deterministic
+:class:`~repro.runtime.cluster.RoutingView` replica, with cross-shard
+frames riding per-shard TCP peering sockets and the identical
+sim-parity bar enforced end to end.
+
 The runtime degrades gracefully under overload (DESIGN.md §12): each
 actor's mailbox is two lanes -- control traffic is never shed, data
 traffic is capped and sheds with a BUSY wire frame -- and clients
@@ -33,10 +41,23 @@ Jacobson-style adaptive timeouts (:exc:`~repro.runtime.node.PeerBusy`,
 """
 
 from repro.core.reliability import CircuitOpenError
-from repro.runtime.cluster import Cluster, ClusterConfig
+from repro.runtime.cluster import (
+    Cluster,
+    ClusterConfig,
+    RoutingView,
+    make_cluster,
+    verify_cluster_against_sim,
+)
 from repro.runtime.loadgen import LoadReport, latency_percentiles, run_load
 from repro.runtime.node import NodeProcess, PeerBusy, RemoteError, RequestTimeout
 from repro.runtime.recovery import RuntimeRecovery
+from repro.runtime.shard import (
+    PeeringTransport,
+    ShardCrashed,
+    ShardedCluster,
+    ShardError,
+    shard_assignment,
+)
 from repro.runtime.transport import (
     LoopbackTransport,
     TcpTransport,
@@ -64,16 +85,24 @@ __all__ = [
     "MsgType",
     "NodeProcess",
     "PeerBusy",
+    "PeeringTransport",
     "ProtocolError",
     "RemoteError",
     "RequestTimeout",
+    "RoutingView",
     "RuntimeRecovery",
+    "ShardCrashed",
+    "ShardError",
+    "ShardedCluster",
     "TcpTransport",
     "Transport",
     "TransportError",
     "decode_frame",
     "encode_frame",
     "latency_percentiles",
+    "make_cluster",
     "make_transport",
     "run_load",
+    "shard_assignment",
+    "verify_cluster_against_sim",
 ]

@@ -39,6 +39,43 @@ from repro.runtime.transport import make_transport
 from repro.runtime.wire import MsgType
 
 
+class RoutingView:
+    """The routing + soft-state surface an actor is allowed to touch.
+
+    Actors used to reach into the cluster-global
+    ``cluster.overlay.ecan`` for their forwarding decisions, which
+    made the overlay state an implicit shared singleton -- impossible
+    to replicate into shard workers.  Every cluster (single-process or
+    one shard worker) now owns a ``RoutingView`` over *its* overlay
+    instance, and :class:`~repro.runtime.node.NodeProcess` goes
+    through it exclusively: in a sharded cluster each worker process
+    rebuilds the same deterministic overlay from (config, seed) and
+    wraps its private replica, so routing state is replicated into
+    shards instead of shared across them.
+    """
+
+    __slots__ = ("overlay", "ecan", "store")
+
+    def __init__(self, overlay):
+        self.overlay = overlay
+        self.ecan = overlay.ecan
+        self.store = overlay.store
+
+    @property
+    def dims(self) -> int:
+        return self.ecan.dims
+
+    def next_hop(self, node_id: int, point, visited=None) -> tuple:
+        """One forwarding decision (the fault-free sim ``route`` branch)."""
+        return self.ecan.next_hop(node_id, point, visited=visited)
+
+    def zone_center(self, node_id: int):
+        return self.ecan.can.nodes[node_id].zone.center()
+
+    def host_of(self, node_id: int) -> int:
+        return int(self.ecan.can.nodes[node_id].host)
+
+
 @dataclass
 class ClusterConfig:
     """Everything a live cluster needs to boot deterministically."""
@@ -97,10 +134,21 @@ class ClusterConfig:
     #: per-peer TCP write-queue cap in frames (tcp transport only);
     #: frames past the cap drop and count as backpressure
     outbox_cap: int = 8192
+    #: worker processes the membership shards across (1 = the classic
+    #: single-process cluster; >1 boots a
+    #: :class:`~repro.runtime.shard.ShardedCluster`, one event loop
+    #: per worker, cross-shard frames over a TCP peering socket)
+    shards: int = 1
 
     def __post_init__(self):
         if self.nodes < 1:
             raise ValueError("a cluster needs at least one node")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > self.nodes:
+            raise ValueError(
+                f"cannot split {self.nodes} nodes across {self.shards} shards"
+            )
         if self.shed_policy not in ("oldest", "newest"):
             raise ValueError(
                 f"shed_policy must be 'oldest' or 'newest', got {self.shed_policy!r}"
@@ -122,6 +170,23 @@ class Cluster:
         self.config = config
         self.network = make_network(config.network)
         self.overlay = TopologyAwareOverlay(self.network, config.overlay)
+        #: the only overlay surface actors touch (replicated per shard
+        #: in a :class:`~repro.runtime.shard.ShardedCluster` worker)
+        self.routing = RoutingView(self.overlay)
+        self.transport = self._make_transport()
+        #: node id -> NodeProcess, in join order
+        self.actors: dict = {}
+        #: crash-stopped node id -> physical host (corpses; the overlay
+        #: still lists them until the failure detector repairs)
+        self.crashed: dict = {}
+        #: armed by :meth:`enable_recovery`
+        self.recovery = None
+        self._rejoin_ids = itertools.count(1)
+        self._started = False
+
+    def _make_transport(self):
+        """Build this cluster's transport (shard workers override)."""
+        config = self.config
         faults = None
         if config.fault_plan is not None:
             # transport-level faults reuse the simulator's plans but run
@@ -141,16 +206,7 @@ class Cluster:
         )
         if config.transport == "tcp":
             transport_kwargs["outbox_cap"] = config.outbox_cap
-        self.transport = make_transport(config.transport, **transport_kwargs)
-        #: node id -> NodeProcess, in join order
-        self.actors: dict = {}
-        #: crash-stopped node id -> physical host (corpses; the overlay
-        #: still lists them until the failure detector repairs)
-        self.crashed: dict = {}
-        #: armed by :meth:`enable_recovery`
-        self.recovery = None
-        self._rejoin_ids = itertools.count(1)
-        self._started = False
+        return make_transport(config.transport, **transport_kwargs)
 
     # -- membership --------------------------------------------------------
 
@@ -185,12 +241,7 @@ class Cluster:
         await self.transport.start()
         with self.network.telemetry.phase("runtime_boot"):
             if self.config.bulk_boot:
-                for node_id in self.overlay.build_bulk(self.config.nodes):
-                    host = int(self.overlay.ecan.can.nodes[node_id].host)
-                    actor = NodeProcess(self, node_id, host=host)
-                    await actor.start()
-                    self.actors[node_id] = actor
-                    self.network.telemetry.bump("runtime_join")
+                await self.start_actors(self.overlay.build_bulk(self.config.nodes))
                 return self
             node_id, host = self.admit()
             seed_actor = NodeProcess(self, node_id, host=host)
@@ -203,6 +254,30 @@ class Cluster:
                 await joiner.rebind(int(ack["node_id"]), host=int(ack["host"]))
                 self.actors[joiner.addr] = joiner
         return self
+
+    #: actor binds awaited concurrently per batch during a bulk boot
+    BOOT_BATCH = 64
+
+    async def start_actors(self, node_ids) -> None:
+        """Bind actors for already-admitted members, batched.
+
+        The post-bulk-boot handshake used to await one bind at a time;
+        on the TCP transport every bind starts an ``asyncio`` server,
+        so a 256-node boot paid 256 sequential server setups.  Batching
+        keeps membership order (the actors dict is filled before any
+        bind) while overlapping the socket work inside each batch.
+        """
+        batch = []
+        for node_id in node_ids:
+            actor = NodeProcess(self, node_id, host=self.routing.host_of(node_id))
+            self.actors[node_id] = actor
+            self.network.telemetry.bump("runtime_join")
+            batch.append(actor)
+            if len(batch) >= self.BOOT_BATCH:
+                await asyncio.gather(*(a.start() for a in batch))
+                batch.clear()
+        if batch:
+            await asyncio.gather(*(a.start() for a in batch))
 
     async def stop(self) -> None:
         if self.recovery is not None:
@@ -432,14 +507,14 @@ class Cluster:
 
     async def route(self, src_id: int, dst_id: int) -> dict:
         """Route from ``src_id`` to member ``dst_id``'s zone center."""
-        dst = self.overlay.ecan.can.nodes[dst_id]
-        result = await self._actor(src_id).rpc_route(dst.zone.center(), op="route")
+        center = self.routing.zone_center(dst_id)
+        result = await self._actor(src_id).rpc_route(center, op="route")
         self.network.telemetry.bump("runtime_route")
         return result
 
     async def lookup_map(self, querier_id: int, region) -> dict:
         """Soft-state map read: route to the serving node, read its shard."""
-        store = self.overlay.store
+        store = self.routing.store
         record = store.registry[querier_id]
         position = store.position_of(record, region)
         actor = self._actor(querier_id)
@@ -469,6 +544,24 @@ class Cluster:
             dst_id, MsgType.HEARTBEAT, {"seq": seq}
         )
 
+    async def run_load(
+        self,
+        rate: float,
+        count: int,
+        seed: int = 0,
+        op: str = "lookup",
+        concurrency: int = 0,
+    ):
+        """Drive a load run against this cluster (method form of
+        :func:`~repro.runtime.loadgen.run_load`, matching the sharded
+        harness so callers need not care which one they boot)."""
+        from repro.runtime.loadgen import run_load
+
+        return await run_load(
+            self, rate=rate, count=count, seed=seed, op=op,
+            concurrency=concurrency,
+        )
+
     # -- sim parity --------------------------------------------------------
 
     def build_reference_sim(self) -> TopologyAwareOverlay:
@@ -488,34 +581,66 @@ class Cluster:
         lookup owners and route endpoints.  Returns a summary dict;
         ``ok`` is True only if every comparison matched bit-for-bit.
         """
-        if sim is None:
-            sim = self.build_reference_sim()
-        rng = np.random.default_rng(seed)
-        ids = np.array(self.node_ids)
-        dims = self.overlay.ecan.dims
-        mismatches = 0
-        for i in range(lookups):
-            src = int(ids[int(rng.integers(0, len(ids)))])
-            point = tuple(float(x) for x in rng.random(dims))
-            live = await self.lookup(src, point)
-            sim_result = sim.ecan.route(src, point, category="parity_check")
-            if not sim_result.success or live["owner"] != sim_result.owner:
-                mismatches += 1
-        for i in range(routes):
-            src, dst = (int(x) for x in rng.choice(ids, size=2, replace=False))
-            live = await self.route(src, dst)
-            sim_dst = sim.ecan.can.nodes[dst]
-            sim_result = sim.ecan.route(
-                src, sim_dst.zone.center(), category="parity_check"
-            )
-            endpoint = sim_result.path[-1] if sim_result.success else None
-            if live["path"][-1] != endpoint or live["owner"] != endpoint:
-                mismatches += 1
-        checked = lookups + routes
-        return {
-            "checked": checked,
-            "lookups": lookups,
-            "routes": routes,
-            "mismatches": mismatches,
-            "ok": mismatches == 0,
-        }
+        return await verify_cluster_against_sim(
+            self, lookups=lookups, routes=routes, seed=seed, sim=sim
+        )
+
+
+async def verify_cluster_against_sim(
+    cluster, lookups: int = 256, routes: int = 64, seed: int = 0xC0FFEE, sim=None
+) -> dict:
+    """The sim-parity check, over any cluster-shaped harness.
+
+    Needs only ``node_ids``, ``routing``, async ``lookup``/``route``
+    and ``build_reference_sim`` from ``cluster``, so the single-process
+    :class:`Cluster` and the multi-process
+    :class:`~repro.runtime.shard.ShardedCluster` share one parity
+    definition -- a sharded run is held to exactly the same
+    bit-identical owners/endpoints bar as the in-process one.
+    """
+    if sim is None:
+        sim = cluster.build_reference_sim()
+    rng = np.random.default_rng(seed)
+    ids = np.array(cluster.node_ids)
+    dims = cluster.routing.dims
+    mismatches = 0
+    for i in range(lookups):
+        src = int(ids[int(rng.integers(0, len(ids)))])
+        point = tuple(float(x) for x in rng.random(dims))
+        live = await cluster.lookup(src, point)
+        sim_result = sim.ecan.route(src, point, category="parity_check")
+        if not sim_result.success or live["owner"] != sim_result.owner:
+            mismatches += 1
+    for i in range(routes):
+        src, dst = (int(x) for x in rng.choice(ids, size=2, replace=False))
+        live = await cluster.route(src, dst)
+        sim_dst = sim.ecan.can.nodes[dst]
+        sim_result = sim.ecan.route(
+            src, sim_dst.zone.center(), category="parity_check"
+        )
+        endpoint = sim_result.path[-1] if sim_result.success else None
+        if live["path"][-1] != endpoint or live["owner"] != endpoint:
+            mismatches += 1
+    checked = lookups + routes
+    return {
+        "checked": checked,
+        "lookups": lookups,
+        "routes": routes,
+        "mismatches": mismatches,
+        "ok": mismatches == 0,
+    }
+
+
+def make_cluster(config: ClusterConfig):
+    """Build the right harness for ``config``.
+
+    ``config.shards == 1`` keeps the classic single-process
+    :class:`Cluster`; anything larger boots a multi-process
+    :class:`~repro.runtime.shard.ShardedCluster` (imported lazily --
+    the shard machinery pulls in :mod:`multiprocessing`).
+    """
+    if config.shards <= 1:
+        return Cluster(config)
+    from repro.runtime.shard import ShardedCluster
+
+    return ShardedCluster(config)

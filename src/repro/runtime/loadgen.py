@@ -75,6 +75,9 @@ class LoadReport:
     breaker_fastfails: int = 0
     #: server-side data-lane sheds observed during this run
     shed: int = 0
+    #: event-loop flavor that drove the run ("asyncio" or "uvloop");
+    #: sharded runs report the workers' loop
+    loop: str = ""
 
     @property
     def succeeded(self) -> int:
@@ -123,24 +126,44 @@ class LoadReport:
             "wall_busy_errors": self.busy_errors,
             "wall_breaker_fastfails": self.breaker_fastfails,
             "wall_shed": self.shed,
+            "loop": self.loop,
         }
 
 
-def _build_requests(cluster, op: str, count: int, rng) -> list:
+def _build_requests(cluster, op: str, count: int, rng, sources=None) -> list:
+    """Draw the request list; ``sources`` restricts *originators* only.
+
+    A shard worker passes its owned node ids as ``sources`` so every
+    request starts on a local actor, while lookup keys and route
+    destinations stay cluster-wide (cross-shard traffic is whatever
+    the tessellation dictates).  With ``sources=None`` the draw
+    sequence is bit-identical to what it has always been, keeping
+    existing seeded workloads replayable.
+    """
     ids = np.array(cluster.node_ids)
+    pool = ids if sources is None else np.array(sorted(sources))
     dims = cluster.overlay.ecan.dims
     if op == "lookup":
-        sources = rng.choice(ids, size=count)
+        origins = rng.choice(pool, size=count)
         points = uniform_points(count, dims, rng)
         return [
-            (int(sources[i]), tuple(float(x) for x in points[i]))
+            (int(origins[i]), tuple(float(x) for x in points[i]))
             for i in range(count)
         ]
     if op == "route":
-        return [
-            tuple(int(x) for x in rng.choice(ids, size=2, replace=False))
-            for _ in range(count)
-        ]
+        if sources is None:
+            return [
+                tuple(int(x) for x in rng.choice(ids, size=2, replace=False))
+                for _ in range(count)
+            ]
+        pairs = []
+        for _ in range(count):
+            src = int(rng.choice(pool))
+            dst = int(rng.choice(ids))
+            while dst == src:
+                dst = int(rng.choice(ids))
+            pairs.append((src, dst))
+        return pairs
     raise ValueError(f"unknown op {op!r} (want 'lookup' or 'route')")
 
 
@@ -151,6 +174,7 @@ async def run_load(
     seed: int = 0,
     op: str = "lookup",
     concurrency: int = 0,
+    sources=None,
 ) -> LoadReport:
     """Drive ``count`` requests against ``cluster``.
 
@@ -168,7 +192,7 @@ async def run_load(
     rng = np.random.default_rng(seed)
     closed = concurrency > 0
     arrivals = None if closed else poisson_arrivals(rate, count, rng)
-    requests = _build_requests(cluster, op, count, rng)
+    requests = _build_requests(cluster, op, count, rng, sources=sources)
 
     loop = asyncio.get_running_loop()
     report = LoadReport(
@@ -247,6 +271,7 @@ async def run_load(
         report.retries = int(policy.retries - retries_before)
         report.backoff_ms = float(policy.backoff_slept_ms - backoff_before)
     report.shed = int(telemetry.event_counts.get("runtime_shed", 0) - shed_before)
+    report.loop = type(loop).__module__.split(".")[0]
 
     telemetry.count("loadgen_ops", report.ops)
     telemetry.count("loadgen_errors", report.errors)

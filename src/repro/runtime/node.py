@@ -539,7 +539,7 @@ class NodeProcess:
         await self._reply(frame, {"node_id": node_id, "host": host})
 
     async def _handle_publish(self, frame: Frame) -> None:
-        regions = self.cluster.overlay.store.publish(self.node_id)
+        regions = self.cluster.routing.store.publish(self.node_id)
         await self._reply(frame, {"regions": regions, "node_id": self.node_id})
 
     async def _handle_lookup(self, frame: Frame) -> None:
@@ -557,7 +557,7 @@ class NodeProcess:
         path = payload["path"]
         cluster = self.cluster
         node_id = self.node_id
-        next_id, kind = cluster.overlay.ecan.next_hop(
+        next_id, kind = cluster.routing.next_hop(
             node_id, payload["point"], visited=path
         )
         if kind == "delivered":
@@ -593,7 +593,7 @@ class NodeProcess:
             )
 
     async def _serve_map_read(self, payload: dict) -> dict:
-        store = self.cluster.overlay.store
+        store = self.cluster.routing.store
         region = Region(
             int(payload["level"]), tuple(int(c) for c in payload["cell"])
         )

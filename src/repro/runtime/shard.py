@@ -1,0 +1,857 @@
+"""Multi-process sharded cluster: one event loop per core.
+
+A single asyncio loop caps the live runtime at whatever one core can
+dispatch (~20k ops/s on the reference box).  :class:`ShardedCluster`
+breaks that ceiling structurally: the membership is partitioned
+across N worker *processes*, each running its own event loop over a
+full :class:`~repro.runtime.cluster.RoutingView` replica, so the
+per-hop forwarding work parallelizes across cores.
+
+**Sharding is topology-aware**, exactly in the spirit of the paper:
+members are grouped by the transit domain of their physical host
+(:func:`shard_assignment`), so the topology-aware tessellation --
+which places topologically-close nodes in nearby zones -- keeps most
+greedy hops *intra-process*, on the in-memory fast path.  Only hops
+that genuinely cross transit domains pay for a socket.
+
+**State is replicated, not shared.**  Every worker rebuilds the
+identical overlay from (config, seed) -- the same determinism the
+sim-parity gate has always relied on -- and wraps its private replica
+in a ``RoutingView``.  There is no shared mutable overlay state
+between processes; membership changes (crash/leave injection) are
+broadcast over the control channel and applied as the same
+deterministic mutation on every replica.
+
+**Three planes:**
+
+* *data plane, intra-shard*: frames between co-sharded members go
+  through the worker's inner transport (in-process loopback by
+  default, per-node TCP when configured) -- unchanged semantics;
+* *data plane, cross-shard*: each worker listens on one TCP *peering
+  socket*; a frame for a remote member rides the existing wire v3
+  encoding prefixed with a 4-byte destination node id
+  (:class:`PeeringTransport`).  Batching mirrors the TCP transport:
+  frames coalesce per destination shard and one flusher writes each
+  batch;
+* *control plane*: one :mod:`multiprocessing` pipe per worker carries
+  boot orchestration, RPCs (lookup/route/map reads for the parity
+  check), load-generation commands, crash/leave injection and
+  counter/telemetry aggregation.  A worker process dying surfaces as
+  a typed :class:`ShardCrashed` on the next command -- never a hang.
+
+The parity bar does not move: ``verify_against_sim`` on a sharded
+cluster replays the identical seeded workload against an
+independently built synchronous simulator and requires bit-identical
+owners and endpoints, regardless of how many processes served it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import struct
+import time
+
+from repro.core.builder import TopologyAwareOverlay
+from repro.core.config import make_network
+from repro.runtime import wire
+from repro.runtime.cluster import (
+    Cluster,
+    ClusterConfig,
+    verify_cluster_against_sim,
+)
+from repro.runtime.loadgen import LoadReport, run_load
+from repro.runtime.transport import Transport, TransportError, make_transport
+from repro.runtime.wire import Frame, encode_frame
+from repro.softstate.maps import Region
+
+
+class ShardError(Exception):
+    """A shard worker rejected or failed a control-channel command."""
+
+
+class ShardCrashed(ShardError):
+    """A shard worker process died (control pipe broken or EOF)."""
+
+
+#: start method for worker processes: fork (POSIX) boots without
+#: re-importing the scientific stack and inherits an installed uvloop
+#: policy; platforms without it fall back to spawn
+_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+def shard_assignment(network, hosts: dict, nshards: int) -> dict:
+    """Partition members across shards, locality-first.
+
+    ``hosts`` maps node id -> physical host.  Members are ordered by
+    (transit domain, host, node id) and cut into ``nshards``
+    contiguous, size-balanced slices, so co-domain (and a fortiori
+    co-hosted) members land in the same worker wherever the balance
+    allows -- the topology-aware tessellation then keeps most routing
+    hops intra-process.  Deterministic: a pure function of the
+    topology and the membership.
+    """
+    domain = network.topology.transit_domain
+    ordered = sorted(
+        hosts, key=lambda n: (int(domain[hosts[n]]), int(hosts[n]), int(n))
+    )
+    base, extra = divmod(len(ordered), nshards)
+    assignment = {}
+    cursor = 0
+    for shard in range(nshards):
+        size = base + (1 if shard < extra else 0)
+        for node_id in ordered[cursor:cursor + size]:
+            assignment[int(node_id)] = shard
+        cursor += size
+    return assignment
+
+
+# -- cross-shard peering -----------------------------------------------------
+
+#: peering envelope: destination node id prefixed to each wire frame
+_ENVELOPE = struct.Struct("!I")
+
+
+class _EnvelopeDecoder:
+    """Incremental (dst, frame) reassembly on a peering byte stream."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> list:
+        buffer = self._buffer
+        buffer.extend(chunk)
+        out = []
+        offset = 0
+        head = _ENVELOPE.size + wire.HEADER.size
+        try:
+            while len(buffer) - offset >= head:
+                (dst,) = _ENVELOPE.unpack_from(buffer, offset)
+                kind, packed, request_id, length = wire._parse_header(
+                    buffer, offset + _ENVELOPE.size
+                )
+                start = offset + head
+                if len(buffer) - start < length:
+                    break
+                payload = wire._parse_payload(
+                    kind, packed, bytes(buffer[start:start + length])
+                )
+                out.append((dst, Frame(kind, request_id, payload)))
+                offset = start + length
+        finally:
+            if offset:
+                del buffer[:offset]
+        return out
+
+
+class PeeringTransport(Transport):
+    """Hybrid shard transport: local fast path + one TCP link per peer shard.
+
+    Frames between co-sharded members delegate to the worker's inner
+    transport (loopback or per-node TCP) with unchanged semantics.  A
+    frame for a member of another shard is encoded once (wire v3,
+    untouched), prefixed with its 4-byte destination node id, and
+    coalesced into that shard's outbox; one flusher task per
+    destination shard writes whole batches with drain backpressure,
+    mirroring :class:`~repro.runtime.transport.TcpTransport`.  The
+    receiving worker's single peering server demultiplexes by the
+    envelope id onto its local handlers.
+    """
+
+    kind = "peering"
+
+    def __init__(
+        self,
+        shard_id: int,
+        shard_of: dict,
+        inner: Transport,
+        interface: str = "127.0.0.1",
+        outbox_cap: int = 8192,
+    ):
+        super().__init__(encoding=inner.encoding)
+        self.shard_id = shard_id
+        #: node id -> owning shard (string joiner addrs are never
+        #: sharded: anything unknown is treated as local)
+        self.shard_of = shard_of
+        self.inner = inner
+        self.interface = interface
+        self.outbox_cap = outbox_cap
+        self.backpressure_drops = 0
+        #: shard id -> (host, port) peering endpoints, set after boot
+        self.peers: dict = {}
+        self.port = None
+        self._server = None
+        self._local: dict = {}
+        self._writers: dict = {}
+        self._writer_locks: dict = {}
+        self._readers: set = set()
+        self._outbox: dict = {}
+        #: peered frames that arrived for an unbound (dead?) member
+        self.misrouted = 0
+        self.peer_sent = 0
+        self.peer_delivered = 0
+
+    async def start(self) -> None:
+        await self.inner.start()
+        self._server = await asyncio.start_server(
+            self._serve, self.interface, 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def bind(self, addr, handler, host: int = None) -> None:
+        self._local[addr] = handler
+        await self.inner.bind(addr, handler, host=host)
+
+    async def unbind(self, addr) -> None:
+        self._local.pop(addr, None)
+        await self.inner.unbind(addr)
+
+    async def send(self, src, dst, frame: Frame) -> bool:
+        if self._closed:
+            raise TransportError("transport is closed")
+        shard = self.shard_of.get(dst, self.shard_id)
+        if shard == self.shard_id:
+            return await self.inner.send(src, dst, frame)
+        self.sent += 1
+        self.peer_sent += 1
+        data = _ENVELOPE.pack(dst) + encode_frame(frame, packed=self._packed)
+        batch = self._outbox.get(shard)
+        if batch is None:
+            self._outbox[shard] = [data]
+            self._spawn(self._flush(shard))
+        elif self.outbox_cap is not None and len(batch) >= self.outbox_cap:
+            self.backpressure_drops += 1
+            self.dropped += 1
+            return False
+        else:
+            batch.append(data)
+        return True
+
+    async def _writer_for(self, shard) -> asyncio.StreamWriter:
+        lock = self._writer_locks.setdefault(shard, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(shard)
+            if writer is not None:
+                if not writer.is_closing():
+                    return writer
+                self._writers.pop(shard, None)
+                writer.close()
+            endpoint = self.peers.get(shard)
+            if endpoint is None:
+                raise TransportError(f"no peering endpoint for shard {shard}")
+            try:
+                _, writer = await asyncio.open_connection(*endpoint)
+            except OSError as exc:
+                raise TransportError(
+                    f"peering connect to shard {shard} failed: {exc}"
+                ) from exc
+            self._writers[shard] = writer
+            return writer
+
+    async def _flush(self, shard) -> None:
+        while True:
+            batch = self._outbox.get(shard)
+            if not batch:
+                self._outbox.pop(shard, None)
+                return
+            self._outbox[shard] = []
+            try:
+                writer = await self._writer_for(shard)
+                writer.write(b"".join(batch))
+                await writer.drain()
+            except (TransportError, OSError):
+                self.dropped += len(batch)
+
+    async def _serve(self, reader, writer) -> None:
+        decoder = _EnvelopeDecoder()
+        self._readers.add(writer)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for dst, frame in decoder.feed(chunk):
+                    handler = self._local.get(dst)
+                    if handler is None:
+                        # a crashed/unbound member: the frame drops and
+                        # the origin's request times out, exactly like
+                        # a frame to a dead host on the flat transports
+                        self.misrouted += 1
+                        continue
+                    self.peer_delivered += 1
+                    self.delivered += 1
+                    await handler(frame)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        except wire.ProtocolError:
+            self.dropped += 1
+        finally:
+            self._readers.discard(writer)
+            writer.close()
+
+    def counters(self) -> dict:
+        """Peering + inner traffic accounting for aggregation."""
+        return {
+            "peer_sent": self.peer_sent,
+            "peer_delivered": self.peer_delivered,
+            "peer_misrouted": self.misrouted,
+            "local_sent": self.inner.sent,
+            "local_delivered": self.inner.delivered,
+            "dropped": self.dropped + self.inner.dropped,
+            "backpressure_drops": self.backpressure_drops,
+        }
+
+    async def close(self) -> None:
+        await super().close()
+        self._outbox.clear()
+        for writer in list(self._writers.values()) + list(self._readers):
+            writer.close()
+        self._writers.clear()
+        self._readers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.inner.close()
+
+
+# -- the worker process ------------------------------------------------------
+
+
+class _WorkerCluster(Cluster):
+    """One shard: a full deterministic replica, actors for owned nodes only."""
+
+    def __init__(self, config: ClusterConfig, shard_id: int, assignment: dict):
+        self.shard_id = shard_id
+        self.assignment = assignment
+        super().__init__(config)
+
+    def _make_transport(self):
+        config = self.config
+        inner_kwargs = dict(encoding=config.wire_encoding)
+        if config.transport == "tcp":
+            inner_kwargs["outbox_cap"] = config.outbox_cap
+        inner = make_transport(config.transport, **inner_kwargs)
+        return PeeringTransport(
+            self.shard_id,
+            self.assignment,
+            inner,
+            outbox_cap=config.outbox_cap,
+        )
+
+    async def start(self) -> "Cluster":
+        if self._started:
+            return self
+        self._started = True
+        await self.transport.start()
+        with self.network.telemetry.phase("runtime_boot"):
+            build = (
+                self.overlay.build_bulk
+                if self.config.bulk_boot
+                else self.overlay.build
+            )
+            members = build(self.config.nodes)
+            owned = [
+                n for n in members if self.assignment[int(n)] == self.shard_id
+            ]
+            await self.start_actors(owned)
+        return self
+
+
+async def _worker_crash(cluster: _WorkerCluster, node_id: int) -> list:
+    """Apply a crash on this replica (owner also stops the actors).
+
+    Host-level semantics match :meth:`Cluster.crash`: every co-hosted
+    member dies with the machine.  Every worker runs the identical
+    bookkeeping (crash ledger, replica copy-death accounting), so the
+    replicas stay bit-identical; only the owning shard has live actors
+    to stop.
+    """
+    host = cluster.routing.host_of(node_id)
+    nodes = cluster.routing.ecan.can.nodes
+    victims = sorted(n for n, rec in nodes.items() if int(rec.host) == host)
+    cluster._ensure_faults().crash_host(host)
+    for victim in victims:
+        actor = cluster.actors.pop(victim, None)
+        if actor is not None:
+            await actor.stop()
+        cluster.overlay.store.drop_hosted_by(victim)
+        cluster.crashed[victim] = host
+    return victims
+
+
+async def _worker_leave(cluster: _WorkerCluster, node_id: int) -> None:
+    """Graceful departure, applied identically on every replica."""
+    actor = cluster.actors.pop(node_id, None)
+    if actor is not None:
+        await actor.stop()
+    cluster.overlay.remove_node(node_id, graceful=True)
+
+
+async def _worker_load(cluster: _WorkerCluster, spec: dict) -> dict:
+    """Drive this shard's slice of a distributed load run."""
+    report = await run_load(
+        cluster,
+        rate=spec["rate"],
+        count=spec["count"],
+        seed=spec["seed"],
+        op=spec["op"],
+        concurrency=spec["concurrency"],
+        sources=list(cluster.actors),
+    )
+    return {
+        "ops": report.ops,
+        "errors": report.errors,
+        "latencies_ms": report.latencies_ms,
+        "error_latencies_ms": report.error_latencies_ms,
+        "mode": report.mode,
+        "concurrency": report.concurrency,
+        "wall_duration_s": report.wall_duration_s,
+        "retries": report.retries,
+        "backoff_ms": report.backoff_ms,
+        "busy_errors": report.busy_errors,
+        "breaker_fastfails": report.breaker_fastfails,
+        "shed": report.shed,
+        "loop": report.loop,
+    }
+
+
+def _worker_counters(cluster: _WorkerCluster) -> dict:
+    telemetry = cluster.network.telemetry
+    return {
+        "events": dict(telemetry.event_counts),
+        "metrics": dict(telemetry.counters),
+        "transport": cluster.transport.counters(),
+        "overload": cluster.overload_counters(),
+    }
+
+
+async def _worker_handle(cluster: _WorkerCluster, msg: tuple):
+    op = msg[0]
+    if op == "peers":
+        cluster.transport.peers.update(msg[1])
+        return None
+    if op == "lookup":
+        return await cluster.lookup(msg[1], msg[2])
+    if op == "route":
+        return await cluster.route(msg[1], msg[2])
+    if op == "lookup_map":
+        return await cluster.lookup_map(msg[1], Region(msg[2], tuple(msg[3])))
+    if op == "publish":
+        return await cluster.publish(msg[1])
+    if op == "ping":
+        return await cluster.ping(msg[1], msg[2], seq=msg[3])
+    if op == "load":
+        return await _worker_load(cluster, msg[1])
+    if op == "counters":
+        return _worker_counters(cluster)
+    if op == "crash":
+        return await _worker_crash(cluster, msg[1])
+    if op == "leave":
+        return await _worker_leave(cluster, msg[1])
+    raise ShardError(f"unknown control op {op!r}")
+
+
+async def _worker(config, shard_id, assignment, conn) -> None:
+    cluster = _WorkerCluster(config, shard_id, assignment)
+    began = time.perf_counter()
+    await cluster.start()
+    conn.send(
+        (
+            "ready",
+            shard_id,
+            cluster.transport.port,
+            time.perf_counter() - began,
+            len(cluster.actors),
+        )
+    )
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            try:
+                # the blocking pipe read rides an executor thread so the
+                # loop keeps serving peering traffic between commands
+                msg = await loop.run_in_executor(None, conn.recv)
+            except EOFError:
+                break  # parent is gone; shut down quietly
+            if msg[0] == "stop":
+                break
+            try:
+                result = await _worker_handle(cluster, msg)
+            except Exception as exc:
+                conn.send(("error", repr(exc)))
+            else:
+                conn.send(("ok", result))
+    finally:
+        await cluster.stop()
+
+
+def _worker_main(config, shard_id, assignment, conn) -> None:
+    """Worker process entry point: one event loop, then a clean exit."""
+    try:
+        asyncio.run(_worker(config, shard_id, assignment, conn))
+        try:
+            conn.send(("bye", shard_id))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    except BaseException as exc:  # surface boot/teardown failures
+        try:
+            conn.send(("fatal", repr(exc)))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+# -- the parent harness ------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one shard worker."""
+
+    __slots__ = ("shard_id", "process", "conn", "lock", "boot_s", "owned")
+
+    def __init__(self, shard_id, process, conn):
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.lock = asyncio.Lock()
+        self.boot_s = 0.0
+        self.owned = 0
+
+    @property
+    def dead(self) -> bool:
+        return self.process.exitcode is not None
+
+
+class ShardedCluster:
+    """N overlay members sharded across worker processes.
+
+    Same high-level surface as :class:`Cluster` (``start``/``stop``,
+    ``lookup``/``route``/``lookup_map``/``publish``/``ping``,
+    ``run_load``, ``verify_against_sim``, ``crash``/``leave``,
+    counter aggregation), built on the control channel.  The parent
+    keeps its own replica for zone geometry and shard routing but
+    serves no data-plane traffic.
+    """
+
+    def __init__(self, config: ClusterConfig):
+        if config.latency_scale:
+            raise ValueError(
+                "latency shaping is not supported across shards yet "
+                "(use shards=1 for shaped runs)"
+            )
+        if config.fault_plan is not None:
+            raise ValueError(
+                "transport fault plans are not supported across shards yet"
+            )
+        self.config = config
+        self.network = make_network(config.network)
+        self.overlay = TopologyAwareOverlay(self.network, config.overlay)
+        from repro.runtime.cluster import RoutingView
+
+        self.routing = RoutingView(self.overlay)
+        self.workers: list = []
+        #: node id -> owning shard, set at boot
+        self.assignment: dict = {}
+        self.crashed: dict = {}
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def node_ids(self) -> list:
+        return list(self.assignment)
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
+
+    async def start(self) -> "ShardedCluster":
+        if self._started:
+            return self
+        self._started = True
+        config = self.config
+        with self.network.telemetry.phase("runtime_boot"):
+            build = (
+                self.overlay.build_bulk if config.bulk_boot else self.overlay.build
+            )
+            members = build(config.nodes)
+            hosts = {int(n): self.routing.host_of(n) for n in members}
+            self.assignment = shard_assignment(
+                self.network, hosts, config.shards
+            )
+            context = multiprocessing.get_context(_START_METHOD)
+            for shard_id in range(config.shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(config, shard_id, self.assignment, child_conn),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.workers.append(
+                    _WorkerHandle(shard_id, process, parent_conn)
+                )
+            ports = {}
+            for worker in self.workers:
+                msg = await self._recv(worker)
+                if msg[0] != "ready":
+                    raise ShardError(
+                        f"shard {worker.shard_id} failed to boot: {msg!r}"
+                    )
+                _, shard_id, port, boot_s, owned = msg
+                ports[shard_id] = ("127.0.0.1", int(port))
+                worker.boot_s = float(boot_s)
+                worker.owned = int(owned)
+            await asyncio.gather(
+                *(self._call(w, ("peers", ports)) for w in self.workers)
+            )
+        return self
+
+    async def stop(self) -> None:
+        for worker in self.workers:
+            if worker.dead:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                continue
+        loop = asyncio.get_running_loop()
+        for worker in self.workers:
+            await loop.run_in_executor(None, worker.process.join, 10.0)
+            if worker.process.exitcode is None:
+                worker.process.terminate()
+                await loop.run_in_executor(None, worker.process.join, 5.0)
+            worker.conn.close()
+        self.workers.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "ShardedCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- control channel ---------------------------------------------------
+
+    def _owner(self, node_id: int) -> _WorkerHandle:
+        shard = self.assignment.get(node_id)
+        if shard is None:
+            raise KeyError(f"node {node_id} is not a cluster member")
+        return self.workers[shard]
+
+    async def _recv(self, worker: _WorkerHandle):
+        loop = asyncio.get_running_loop()
+        try:
+            msg = await loop.run_in_executor(None, worker.conn.recv)
+        except (EOFError, OSError) as exc:
+            raise ShardCrashed(
+                f"shard {worker.shard_id} worker died "
+                f"(exitcode {worker.process.exitcode})"
+            ) from exc
+        if msg[0] == "fatal":
+            raise ShardError(f"shard {worker.shard_id} failed: {msg[1]}")
+        return msg
+
+    async def _call(self, worker: _WorkerHandle, msg: tuple):
+        """One command round-trip; a dead worker raises, never hangs."""
+        async with worker.lock:
+            if worker.dead:
+                raise ShardCrashed(
+                    f"shard {worker.shard_id} worker died "
+                    f"(exitcode {worker.process.exitcode})"
+                )
+            try:
+                worker.conn.send(msg)
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise ShardCrashed(
+                    f"shard {worker.shard_id} control pipe broken"
+                ) from exc
+            reply = await self._recv(worker)
+        if reply[0] == "error":
+            raise ShardError(f"shard {worker.shard_id}: {reply[1]}")
+        return reply[1]
+
+    # -- RPCs --------------------------------------------------------------
+
+    async def lookup(self, src_id: int, point) -> dict:
+        return await self._call(
+            self._owner(src_id),
+            ("lookup", int(src_id), [float(x) for x in point]),
+        )
+
+    async def route(self, src_id: int, dst_id: int) -> dict:
+        if dst_id not in self.assignment:
+            raise KeyError(f"node {dst_id} is not a cluster member")
+        return await self._call(
+            self._owner(src_id), ("route", int(src_id), int(dst_id))
+        )
+
+    async def lookup_map(self, querier_id: int, region) -> dict:
+        return await self._call(
+            self._owner(querier_id),
+            ("lookup_map", int(querier_id), int(region.level), list(region.cell)),
+        )
+
+    async def publish(self, node_id: int) -> dict:
+        return await self._call(self._owner(node_id), ("publish", int(node_id)))
+
+    async def ping(self, src_id: int, dst_id: int, seq: int = 0) -> dict:
+        return await self._call(
+            self._owner(src_id), ("ping", int(src_id), int(dst_id), int(seq))
+        )
+
+    # -- load --------------------------------------------------------------
+
+    async def run_load(
+        self,
+        rate: float,
+        count: int,
+        seed: int = 0,
+        op: str = "lookup",
+        concurrency: int = 0,
+    ) -> LoadReport:
+        """Scatter a load run across every shard, gather one report.
+
+        Each worker drives its slice with sources drawn from its own
+        members (targets stay cluster-wide, so cross-shard traffic is
+        whatever the tessellation dictates), all shards running
+        concurrently on their own cores.  Counts, rates and the
+        closed-loop budget split evenly; per-shard seeds are derived
+        from ``seed`` so the workload stays a pure function of it.
+        """
+        shards = len(self.workers)
+        base, extra = divmod(count, shards)
+        closed = concurrency > 0
+        conc_base, conc_extra = divmod(concurrency, shards) if closed else (0, 0)
+        calls = []
+        for i, worker in enumerate(self.workers):
+            slice_count = base + (1 if i < extra else 0)
+            if slice_count == 0:
+                continue
+            spec = {
+                "rate": rate / shards if rate else 0.0,
+                "count": slice_count,
+                "seed": seed + 7919 * i,
+                "op": op,
+                "concurrency": (
+                    max(1, conc_base + (1 if i < conc_extra else 0))
+                    if closed
+                    else 0
+                ),
+            }
+            calls.append(self._call(worker, ("load", spec)))
+        slices = await asyncio.gather(*calls)
+        report = LoadReport(
+            ops=sum(s["ops"] for s in slices),
+            errors=sum(s["errors"] for s in slices),
+            offered_rate=0.0 if closed else float(rate),
+            mode="closed" if closed else "open",
+            concurrency=sum(s["concurrency"] for s in slices),
+        )
+        for s in slices:
+            report.latencies_ms.extend(s["latencies_ms"])
+            report.error_latencies_ms.extend(s["error_latencies_ms"])
+        report.wall_duration_s = max(s["wall_duration_s"] for s in slices)
+        report.retries = sum(s["retries"] for s in slices)
+        report.backoff_ms = sum(s["backoff_ms"] for s in slices)
+        report.busy_errors = sum(s["busy_errors"] for s in slices)
+        report.breaker_fastfails = sum(s["breaker_fastfails"] for s in slices)
+        report.shed = sum(s["shed"] for s in slices)
+        report.loop = slices[0]["loop"] if slices else ""
+        return report
+
+    # -- aggregation -------------------------------------------------------
+
+    async def counters(self) -> dict:
+        """Cluster-wide counters, summed across every shard replica."""
+        per_shard = await asyncio.gather(
+            *(self._call(w, ("counters",)) for w in self.workers)
+        )
+        merged = {"events": {}, "metrics": {}, "transport": {}, "overload": {}}
+        for shard in per_shard:
+            for section, values in shard.items():
+                bucket = merged.setdefault(section, {})
+                for key, value in values.items():
+                    if isinstance(value, (int, float)):
+                        bucket[key] = bucket.get(key, 0) + value
+        merged["per_shard"] = per_shard
+        return merged
+
+    async def overload_counters(self) -> dict:
+        return (await self.counters())["overload"]
+
+    def boot_report(self) -> dict:
+        """Per-shard boot walls + membership split (bench bookkeeping)."""
+        return {
+            "wall_boot_s_per_shard": [w.boot_s for w in self.workers],
+            "owned_per_shard": [w.owned for w in self.workers],
+        }
+
+    # -- churn -------------------------------------------------------------
+
+    async def crash(self, node_id: int) -> dict:
+        """Crash-stop a member's machine on every replica (broadcast)."""
+        if node_id not in self.assignment:
+            raise KeyError(f"node {node_id} is not a cluster member")
+        results = await asyncio.gather(
+            *(self._call(w, ("crash", int(node_id))) for w in self.workers)
+        )
+        victims = results[0]
+        host = self.routing.host_of(node_id)
+        self._parent_faults().crash_host(host)
+        for victim in victims:
+            self.overlay.store.drop_hosted_by(victim)
+            self.crashed[victim] = host
+            self.assignment.pop(victim, None)
+        return {"victims": victims}
+
+    async def leave(self, node_id: int) -> None:
+        """Graceful departure, broadcast to every replica."""
+        if node_id not in self.assignment:
+            raise KeyError(f"node {node_id} is not a cluster member")
+        await asyncio.gather(
+            *(self._call(w, ("leave", int(node_id))) for w in self.workers)
+        )
+        self.overlay.remove_node(node_id, graceful=True)
+        self.assignment.pop(node_id, None)
+
+    def _parent_faults(self):
+        if self.network.faults is None:
+            from repro.netsim.faults import FaultPlan
+
+            self.network.arm_faults(FaultPlan(), seed=self.config.fault_seed)
+        return self.network.faults
+
+    async def enable_recovery(self, params=None, seed: int = 0xFD):
+        raise NotImplementedError(
+            "the wire-level SWIM recovery loop does not span shard "
+            "workers yet; crash/leave injection flows over the control "
+            "channel instead (see DESIGN.md §13)"
+        )
+
+    # -- sim parity --------------------------------------------------------
+
+    def build_reference_sim(self) -> TopologyAwareOverlay:
+        """A fresh synchronous overlay, built the way the replicas were."""
+        network = make_network(self.config.network)
+        sim = TopologyAwareOverlay(network, self.config.overlay)
+        build = sim.build_bulk if self.config.bulk_boot else sim.build
+        build(self.config.nodes)
+        return sim
+
+    async def verify_against_sim(
+        self, lookups: int = 256, routes: int = 64, seed: int = 0xC0FFEE, sim=None
+    ) -> dict:
+        """The identical parity bar :class:`Cluster` is held to."""
+        return await verify_cluster_against_sim(
+            self, lookups=lookups, routes=routes, seed=seed, sim=sim
+        )

@@ -58,6 +58,7 @@ import enum
 import json
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 #: protocol magic, first on the wire
 MAGIC = b"RW"
@@ -76,6 +77,32 @@ MAX_PAYLOAD = 1 << 20
 
 #: magic(2s) version(B) type(B) request_id(Q) payload_len(I)
 HEADER = struct.Struct("!2sBBQI")
+
+
+@lru_cache(maxsize=512)
+def _layout(fmt: str) -> struct.Struct:
+    """Compiled :class:`struct.Struct` for a variadic payload layout.
+
+    The packed codecs build their format strings from runtime lengths
+    (``f"!{npoint}d"`` and friends), so ``struct.pack``/``unpack_from``
+    would re-compile the format on every frame -- measurably the
+    hottest slice of the per-hop codec cost.  Real traffic draws from
+    a tiny set of lengths (point dims, path depths up to ``max_hops``,
+    record counts), so a bounded LRU turns the compile into a dict
+    hit; pathological length churn merely evicts, never grows.
+    """
+    return struct.Struct(fmt)
+
+
+# fixed-layout segments, compiled once at import
+_ROUTE_FIX = struct.Struct("!BBIB")
+_FUSED_FIX = struct.Struct("!IBB")
+_LOOKUP_FIX = struct.Struct("!IBB")
+_MAP_FIX = struct.Struct("!BIH")
+_ACK_FIX = struct.Struct("!IHH")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U8 = struct.Struct("!B")
 
 
 class ProtocolError(Exception):
@@ -179,8 +206,9 @@ def _pack_route(payload: dict):
             return None
     if fused:
         cell = payload["cell"]
-        return struct.pack(
-            f"!BBBIB{len(point)}dH{len(path)}IIBB{len(cell)}i",
+        return _layout(
+            f"!BBBIB{len(point)}dH{len(path)}IIBB{len(cell)}i"
+        ).pack(
             _TAG_ROUTE,
             opcode,
             1,
@@ -194,8 +222,7 @@ def _pack_route(payload: dict):
             len(cell),
             *cell,
         )
-    return struct.pack(
-        f"!BBBIB{len(point)}dH{len(path)}I",
+    return _layout(f"!BBBIB{len(point)}dH{len(path)}I").pack(
         _TAG_ROUTE,
         opcode,
         0,
@@ -208,24 +235,24 @@ def _pack_route(payload: dict):
 
 
 def _unpack_route(data, offset: int) -> tuple:
-    opcode, fused, src, npoint = struct.unpack_from("!BBIB", data, offset)
+    opcode, fused, src, npoint = _ROUTE_FIX.unpack_from(data, offset)
     offset += 7
     op = _OP_NAMES.get(opcode)
     if op is None or fused not in (0, 1):
         raise ProtocolError(f"packed ROUTE with bad op/fused ({opcode}/{fused})")
-    point = list(struct.unpack_from(f"!{npoint}d", data, offset))
+    point = list(_layout(f"!{npoint}d").unpack_from(data, offset))
     offset += 8 * npoint
-    (npath,) = struct.unpack_from("!H", data, offset)
+    (npath,) = _U16.unpack_from(data, offset)
     offset += 2
-    path = list(struct.unpack_from(f"!{npath}I", data, offset))
+    path = list(_layout(f"!{npath}I").unpack_from(data, offset))
     offset += 4 * npath
     payload = {"point": point, "path": path, "op": op, "src": src}
     if fused:
-        querier, level, ncell = struct.unpack_from("!IBB", data, offset)
+        querier, level, ncell = _FUSED_FIX.unpack_from(data, offset)
         offset += 6
         payload["querier"] = querier
         payload["level"] = level
-        payload["cell"] = list(struct.unpack_from(f"!{ncell}i", data, offset))
+        payload["cell"] = list(_layout(f"!{ncell}i").unpack_from(data, offset))
         offset += 4 * ncell
     return payload, offset
 
@@ -234,8 +261,7 @@ def _pack_lookup(payload: dict):
     if payload.keys() != _LOOKUP_KEYS:
         return None
     cell = payload["cell"]
-    return struct.pack(
-        f"!BIBB{len(cell)}iI",
+    return _layout(f"!BIBB{len(cell)}iI").pack(
         _TAG_LOOKUP,
         payload["querier"],
         payload["level"],
@@ -246,11 +272,11 @@ def _pack_lookup(payload: dict):
 
 
 def _unpack_lookup(data, offset: int) -> tuple:
-    querier, level, ncell = struct.unpack_from("!IBB", data, offset)
+    querier, level, ncell = _LOOKUP_FIX.unpack_from(data, offset)
     offset += 6
-    cell = list(struct.unpack_from(f"!{ncell}i", data, offset))
+    cell = list(_layout(f"!{ncell}i").unpack_from(data, offset))
     offset += 4 * ncell
-    (src,) = struct.unpack_from("!I", data, offset)
+    (src,) = _U32.unpack_from(data, offset)
     offset += 4
     return {"querier": querier, "level": level, "cell": cell, "src": src}, offset
 
@@ -260,8 +286,7 @@ def _pack_map_read(served_by, widened, records):
     if type(widened) is not bool:
         return None
     flags = (0 if served_by is None else 1) | (2 if widened else 0)
-    return struct.pack(
-        f"!BIH{len(records)}I",
+    return _layout(f"!BIH{len(records)}I").pack(
         flags,
         0 if served_by is None else served_by,
         len(records),
@@ -270,9 +295,9 @@ def _pack_map_read(served_by, widened, records):
 
 
 def _unpack_map_read(data, offset: int) -> tuple:
-    flags, served_by, nrecords = struct.unpack_from("!BIH", data, offset)
+    flags, served_by, nrecords = _MAP_FIX.unpack_from(data, offset)
     offset += 7
-    records = list(struct.unpack_from(f"!{nrecords}I", data, offset))
+    records = list(_layout(f"!{nrecords}I").unpack_from(data, offset))
     offset += 4 * nrecords
     triple = {
         "served_by": served_by if flags & 1 else None,
@@ -290,13 +315,12 @@ def _pack_ack(payload: dict):
         )
         if body is None:
             return None
-        return struct.pack("!B", _TAG_ACK_MAP) + body
+        return _U8.pack(_TAG_ACK_MAP) + body
     fused = keys == _ACK_FUSED_KEYS
     if not fused and keys != _ACK_ROUTE_KEYS:
         return None
     path = payload["path"]
-    head = struct.pack(
-        f"!BIHH{len(path)}I",
+    head = _layout(f"!BIHH{len(path)}I").pack(
         _TAG_ACK_FUSED if fused else _TAG_ACK_ROUTE,
         payload["owner"],
         payload["hops"],
@@ -316,9 +340,9 @@ def _pack_ack(payload: dict):
 def _unpack_ack(tag: int, data, offset: int) -> tuple:
     if tag == _TAG_ACK_MAP:
         return _unpack_map_read(data, offset)
-    owner, hops, npath = struct.unpack_from("!IHH", data, offset)
+    owner, hops, npath = _ACK_FIX.unpack_from(data, offset)
     offset += 8
-    path = list(struct.unpack_from(f"!{npath}I", data, offset))
+    path = list(_layout(f"!{npath}I").unpack_from(data, offset))
     offset += 4 * npath
     payload = {"owner": owner, "path": path, "hops": hops}
     if tag == _TAG_ACK_FUSED:
@@ -363,7 +387,7 @@ def pack_payload(kind: MsgType, payload: dict):
 def unpack_payload(kind: MsgType, data) -> dict:
     """Decode a packed payload; strict -- raises :class:`ProtocolError`."""
     try:
-        (tag,) = struct.unpack_from("!B", data, 0)
+        (tag,) = _U8.unpack_from(data, 0)
         if tag not in _TAGS_FOR.get(kind, ()):
             raise ProtocolError(
                 f"packed payload tag {tag} does not belong to {kind.name}"

@@ -91,6 +91,31 @@ class TestCommands:
         args = build_parser().parse_args(["cluster", "--mailbox-cap", "0"])
         assert _cluster_config(args).mailbox_cap is None
 
+    def test_cluster_shards_flag_reaches_config(self):
+        from repro.cli import _cluster_config
+
+        args = build_parser().parse_args(
+            ["cluster", "--nodes", "8", "--shards", "2"]
+        )
+        assert _cluster_config(args).shards == 2
+        args = build_parser().parse_args(["cluster", "--nodes", "8"])
+        assert _cluster_config(args).shards == 1
+
+    def test_cluster_sharded_run_end_to_end(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--nodes", "12",
+                "--lookups", "20",
+                "--shards", "2",
+                "--concurrency", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster: 12 nodes over loopback" in out
+        assert "verify-against-sim: ok" in out
+
     def test_cluster_rejects_unknown_shed_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--shed-policy", "random"])

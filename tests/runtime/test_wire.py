@@ -361,3 +361,38 @@ class TestFrameDecoder:
         assert [f.payload["i"] for f in out[:3]] == [0, 1, 2]
         assert decoder.pending_bytes == 0
         assert elapsed < 5.0, f"coalesced feed took {elapsed:.2f}s"
+
+
+class TestLayoutCache:
+    """The per-count compiled-Struct cache behind the packed codec."""
+
+    def test_same_layout_is_compiled_once(self):
+        from repro.runtime.wire import _layout
+
+        first = _layout("!BBIB5d")
+        assert _layout("!BBIB5d") is first
+        assert isinstance(first, struct.Struct)
+
+    def test_cache_is_bounded(self):
+        from repro.runtime.wire import _layout
+
+        _layout.cache_clear()
+        for n in range(600):  # more distinct layouts than the cache holds
+            _layout(f"!{n + 1}d")
+        info = _layout.cache_info()
+        assert info.maxsize == 512
+        assert info.currsize <= 512
+
+    def test_cached_packers_round_trip_variadic_sizes(self):
+        # distinct dims/path lengths hit distinct cached layouts
+        for dims in (2, 3, 5):
+            for hops in (1, 4, 9):
+                payload = {
+                    "point": [float(i) / 8 for i in range(dims)],
+                    "path": list(range(hops)),
+                    "op": "lookup",
+                    "src": 7,
+                }
+                data = encode_frame(Frame(MsgType.ROUTE, 9, payload), packed=True)
+                assert data[3] & PACKED_FLAG
+                assert decode_frame(data).payload == payload
