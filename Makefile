@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke shard-smoke soak-smoke overload-smoke report examples ci clean
+.PHONY: install test bench bench-medium bench-paper bench-smoke chaos-smoke runtime-smoke shard-smoke soak-smoke overload-smoke mgmt-smoke report examples ci clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -72,6 +72,16 @@ soak-smoke:
 overload-smoke:
 	$(PYTHON) scripts/overload_smoke.py
 
+# The management-plane gate: attach the HTTP controller to a live
+# single-process cluster (SWIM recovery armed) and a 2-shard cluster,
+# require every endpoint to answer (/topology /stats /health as
+# schema-valid JSON, /metrics as strictly-parsed Prometheus text, the
+# zone-map page at /), and require /health to flip to 503 degraded
+# within one probe period of a crash and back to 200 healthy once the
+# recovery stack repairs.  Leaves benchmarks/out/mgmt/mgmt_smoke.json.
+mgmt-smoke:
+	$(PYTHON) scripts/mgmt_smoke.py --json benchmarks/out/mgmt/mgmt_smoke.json
+
 # The recovery acceptance scenario: 20% simultaneous crash + one
 # transit partition window under probe loss; asserts the stack-wide
 # invariants hold post-recovery and that no live node was falsely
@@ -94,6 +104,7 @@ ci:
 	$(MAKE) shard-smoke
 	$(MAKE) soak-smoke
 	$(MAKE) overload-smoke
+	$(MAKE) mgmt-smoke
 	$(MAKE) bench-smoke
 	$(PYTHON) scripts/bench_report.py --check
 

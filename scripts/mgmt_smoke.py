@@ -1,0 +1,296 @@
+"""Management-plane smoke: every endpoint, both harnesses, live crash.
+
+The acceptance scenario for the management plane
+(``src/repro/mgmt/``), run by ``make mgmt-smoke`` and CI:
+
+* boot a single-process cluster with the SWIM recovery loop armed,
+  attach a :class:`~repro.mgmt.controller.Controller`, and require all
+  five endpoints to answer: ``/`` (the zone-map page), ``/topology``
+  and ``/stats`` (schema-valid JSON), ``/metrics`` (strictly parseable
+  Prometheus text exposition) and ``/health`` (200 healthy);
+* crash one member and require ``/health`` to flip to 503 *degraded*
+  within one probe period, then let the live recovery stack confirm
+  the deaths and repair, and require ``/health`` back at 200 healthy;
+* boot a 2-shard multi-process cluster and require the same endpoint
+  contract, with ``enable_recovery`` refusing via the typed
+  ``NotSupportedError`` and ``/health`` reporting
+  ``recovery: unavailable (sharded)`` instead of a 500.
+
+Writes a JSON report (for the CI artifact) when ``--json`` is given
+and exits non-zero on any gate failure.
+
+Usage::
+
+    python scripts/mgmt_smoke.py                  # 32 nodes, then 16/2-shard
+    python scripts/mgmt_smoke.py --nodes 16
+    python scripts/mgmt_smoke.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import NetworkParams, OverlayParams  # noqa: E402
+from repro.mgmt import (  # noqa: E402
+    Controller,
+    ControllerConfig,
+    http_get,
+    parse_exposition,
+)
+from repro.runtime import (  # noqa: E402
+    Cluster,
+    ClusterConfig,
+    NotSupportedError,
+    ShardedCluster,
+)
+
+#: wall seconds the live recovery stack gets to repair the crash
+REPAIR_DEADLINE_S = 20.0
+
+
+def make_config(nodes: int, shards: int, seed: int) -> ClusterConfig:
+    return ClusterConfig(
+        nodes=nodes,
+        network=NetworkParams(topo_scale=0.25, seed=seed),
+        overlay=OverlayParams(num_nodes=nodes, seed=seed),
+        transport="loopback",
+        wire_encoding="packed",
+        heartbeat_period=0.1,
+        shards=shards,
+    )
+
+
+async def get_json(port: int, path: str):
+    status, headers, body = await http_get("127.0.0.1", port, path)
+    if not headers.get("content-type", "").startswith("application/json"):
+        raise AssertionError(
+            f"{path}: expected JSON, got {headers.get('content-type')!r}"
+        )
+    return status, json.loads(body)
+
+
+def check_topology(topo: dict, nodes: int, shards: int, failures: list):
+    if topo.get("schema_version") != 1:
+        failures.append(f"topology schema_version {topo.get('schema_version')}")
+    if len(topo.get("members", [])) != nodes:
+        failures.append(f"topology lists {len(topo.get('members', []))} members")
+    if topo.get("shards", {}).get("count") != shards:
+        failures.append(f"topology shards {topo.get('shards')}")
+    for member in topo.get("members", []):
+        if not member.get("zones") or "lo" not in member["zones"][0]:
+            failures.append(f"member {member.get('id')} has no zone box")
+            break
+    if not topo.get("expressways"):
+        failures.append("topology exports no expressway links")
+
+
+def check_stats(stats: dict, shards: int, failures: list):
+    for section in (
+        "events", "counters", "gauges", "phases",
+        "transport_counters", "overload", "retries",
+    ):
+        if section not in stats:
+            failures.append(f"stats missing section {section!r}")
+    if stats.get("shards") != shards:
+        failures.append(f"stats shards {stats.get('shards')} != {shards}")
+    if shards > 1 and len(stats.get("per_shard", [])) != shards:
+        failures.append("stats missing per-shard breakdown")
+
+
+async def check_all_endpoints(
+    controller: Controller, nodes: int, shards: int, failures: list
+) -> dict:
+    """GET every endpoint once; returns the parsed /health document."""
+    status, headers, body = await http_get("127.0.0.1", controller.port, "/")
+    if status != 200 or "<svg" not in body.decode("utf-8", "replace"):
+        failures.append(f"zone-map page: status {status}")
+
+    status, topo = await get_json(controller.port, "/topology")
+    if status != 200:
+        failures.append(f"/topology status {status}")
+    check_topology(topo, nodes, shards, failures)
+
+    status, stats = await get_json(controller.port, "/stats")
+    if status != 200:
+        failures.append(f"/stats status {status}")
+    check_stats(stats, shards, failures)
+
+    status, _, body = await http_get("127.0.0.1", controller.port, "/metrics")
+    if status != 200:
+        failures.append(f"/metrics status {status}")
+    try:
+        families = parse_exposition(body.decode("utf-8"))
+    except ValueError as exc:
+        failures.append(f"/metrics does not parse: {exc}")
+    else:
+        for family in ("repro_events_total", "repro_health_status"):
+            if family not in families:
+                failures.append(f"/metrics missing family {family}")
+
+    status, health = await get_json(controller.port, "/health")
+    if health.get("schema_version") != 1:
+        failures.append(f"health schema_version {health.get('schema_version')}")
+    health["_http_status"] = status
+    return health
+
+
+async def poll_health_until(port: int, want: str, deadline_s: float):
+    """Poll /health until ``status == want``; returns (elapsed, doc)."""
+    start = time.monotonic()
+    while True:
+        _, health = await get_json(port, "/health")
+        elapsed = time.monotonic() - start
+        if health.get("status") == want:
+            return elapsed, health
+        if elapsed > deadline_s:
+            raise AssertionError(
+                f"/health never reached {want!r} within {deadline_s}s "
+                f"(stuck at {health.get('status')!r})"
+            )
+        await asyncio.sleep(0.01)
+
+
+async def single_process_phase(nodes: int, seed: int) -> dict:
+    """Cluster + recovery: endpoints, crash -> degraded -> healthy."""
+    failures: list = []
+    config = make_config(nodes, shards=1, seed=seed)
+    async with Cluster(config) as cluster:
+        recovery = await cluster.enable_recovery()
+        async with Controller(cluster, ControllerConfig()) as controller:
+            print(f"single-process: {nodes} nodes, API on {controller.url}")
+            health = await check_all_endpoints(
+                controller, nodes, 1, failures
+            )
+            if health["_http_status"] != 200 or health["status"] != "healthy":
+                failures.append(
+                    f"pre-crash health {health['status']} "
+                    f"({health['_http_status']})"
+                )
+            if health["recovery"]["state"] != "active":
+                failures.append(
+                    f"recovery state {health['recovery']['state']!r}"
+                )
+
+            boot_host = int(cluster.bootstrap.host)
+            victim = next(
+                n for n, actor in sorted(cluster.actors.items())
+                if int(actor.host) != boot_host
+            )
+            victims = (await cluster.crash(victim))["victims"]
+            # one probe period is the detection budget; the health view
+            # reads ground truth, so the very next scrape must see it
+            probe_period = config.heartbeat_period
+            flip_s, degraded = await poll_health_until(
+                controller.port, "degraded", probe_period
+            )
+            down = [
+                n["id"] for n in degraded["nodes"] if n["verdict"] != "alive"
+            ]
+            if not set(victims) <= set(down):
+                failures.append(
+                    f"degraded view misses victims {victims} (down: {down})"
+                )
+            print(
+                f"crash of node {victim} ({len(victims)} victim(s)): "
+                f"degraded after {flip_s * 1000:.0f} ms "
+                f"(budget {probe_period * 1000:.0f} ms)"
+            )
+
+            repair_s, healed = await poll_health_until(
+                controller.port, "healthy", REPAIR_DEADLINE_S
+            )
+            if healed["members"] != nodes - len(victims):
+                failures.append(
+                    f"post-repair membership {healed['members']} "
+                    f"!= {nodes - len(victims)}"
+                )
+            print(
+                f"recovery repaired in {repair_s:.1f} s: "
+                f"{healed['members']} members, "
+                f"{recovery.manager.takeovers} takeover(s), "
+                f"{recovery.false_kills} false kill(s)"
+            )
+            if recovery.false_kills:
+                failures.append(f"{recovery.false_kills} false kills")
+            scrapes = controller.server.requests
+    return {
+        "nodes": nodes,
+        "victims": len(victims),
+        "degraded_after_s": flip_s,
+        "probe_period_s": probe_period,
+        "repaired_after_s": repair_s,
+        "scrapes": scrapes,
+        "failures": failures,
+    }
+
+
+async def sharded_phase(nodes: int, shards: int, seed: int) -> dict:
+    """ShardedCluster: same endpoint contract, typed recovery refusal."""
+    failures: list = []
+    config = make_config(nodes, shards=shards, seed=seed)
+    async with ShardedCluster(config) as cluster:
+        try:
+            await cluster.enable_recovery()
+        except NotSupportedError:
+            pass
+        else:
+            failures.append("sharded enable_recovery did not refuse")
+        async with Controller(cluster, ControllerConfig()) as controller:
+            print(
+                f"sharded: {nodes} nodes / {shards} shards, "
+                f"API on {controller.url}"
+            )
+            health = await check_all_endpoints(
+                controller, nodes, shards, failures
+            )
+            if health["_http_status"] != 200 or health["status"] != "healthy":
+                failures.append(
+                    f"sharded health {health['status']} "
+                    f"({health['_http_status']})"
+                )
+            if health["recovery"]["state"] != "unavailable (sharded)":
+                failures.append(
+                    f"sharded recovery state {health['recovery']['state']!r}"
+                )
+    return {"nodes": nodes, "shards": shards, "failures": failures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--shard-nodes", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--json", type=pathlib.Path, help="write the report as JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    single = asyncio.run(single_process_phase(args.nodes, args.seed))
+    sharded = asyncio.run(
+        sharded_phase(args.shard_nodes, args.shards, args.seed)
+    )
+    result = {"single_process": single, "sharded": sharded}
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"report written to {args.json}")
+
+    failures = single["failures"] + sharded["failures"]
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print("mgmt smoke OK (single-process + sharded)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -204,6 +204,18 @@ def cmd_cluster(args) -> int:
     async def drive():
         cluster = make_cluster(config)
         await cluster.start()
+        controller = None
+        if args.status_port is not None:
+            from repro.mgmt import Controller, ControllerConfig
+
+            controller = Controller(
+                cluster, ControllerConfig(port=args.status_port)
+            )
+            await controller.start()
+            print(
+                f"management API on {controller.url} "
+                f"(/topology /stats /metrics /health, zone map at /)"
+            )
         try:
             report = await cluster.run_load(
                 rate=args.rate,
@@ -225,6 +237,8 @@ def cmd_cluster(args) -> int:
             if inspect.isawaitable(overload):  # sharded: aggregated RPC
                 overload = await overload
         finally:
+            if controller is not None:
+                await controller.stop()
             await cluster.stop()
         return report, verdict, overload
 
@@ -264,6 +278,82 @@ def cmd_cluster(args) -> int:
         f"({verdict['mismatches']}/{verdict['checked']} mismatches)"
     )
     return 0 if verdict["ok"] and report.errors == 0 else 1
+
+
+def _controller_configs(args):
+    """Build the (cluster, controller) configs a ``repro controller``
+    run uses.
+
+    Split from :func:`cmd_controller` so tests can assert every CLI
+    flag lands on the right config without booting anything.
+    """
+    from repro.core.config import NetworkParams, OverlayParams
+    from repro.mgmt import ControllerConfig
+    from repro.runtime import ClusterConfig
+
+    cluster_config = ClusterConfig(
+        nodes=args.nodes,
+        network=NetworkParams(topo_scale=args.topo_scale, seed=args.seed),
+        overlay=OverlayParams(num_nodes=args.nodes, seed=args.seed),
+        transport=args.transport,
+        wire_encoding=args.encoding,
+        heartbeat_period=args.heartbeat_period,
+        probe_timeout=args.probe_timeout,
+        bulk_boot=args.bulk_boot,
+        shards=args.shards,
+    )
+    controller_config = ControllerConfig(
+        host=args.host,
+        port=args.port,
+        refresh_s=args.refresh,
+        check_invariants=args.check_invariants,
+    )
+    return cluster_config, controller_config
+
+
+def cmd_controller(args) -> int:
+    """Boot a cluster and serve the management API until interrupted."""
+    import asyncio
+
+    from repro.mgmt import Controller
+    from repro.runtime import NotSupportedError, make_cluster
+
+    if args.uvloop:
+        _install_uvloop()
+    cluster_config, controller_config = _controller_configs(args)
+
+    async def serve():
+        cluster = make_cluster(cluster_config)
+        await cluster.start()
+        try:
+            if args.recovery:
+                try:
+                    await cluster.enable_recovery()
+                except NotSupportedError as exc:
+                    print(f"recovery unavailable: {exc}", file=sys.stderr)
+            async with Controller(cluster, controller_config) as controller:
+                print(
+                    f"controller: {args.nodes} nodes over {args.transport} "
+                    f"({cluster_config.shards} shard(s)), serving "
+                    f"{controller.url}"
+                )
+                print(
+                    "endpoints: /topology /stats /metrics /health "
+                    "(zone map at /)"
+                )
+                if args.duration > 0:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()  # until Ctrl-C
+        finally:
+            await cluster.stop()
+        return 0
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("controller stopped")
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,8 +516,120 @@ def build_parser() -> argparse.ArgumentParser:
         "(Jacobson RTO) instead of the static --request-timeout "
         "(default on; --no-adaptive-timeout restores static timeouts)",
     )
+    cluster.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the management API (/topology /stats /metrics /health "
+        "and the zone-map view) on this loopback port while the load "
+        "runs (0 picks a free port; default off)",
+    )
     cluster.add_argument("--seed", type=int, default=0, help="workload/overlay seed")
     cluster.set_defaults(func=cmd_cluster)
+    controller = sub.add_parser(
+        "controller",
+        help="boot a cluster and serve the management API / zone-map view",
+    )
+    controller.add_argument(
+        "--nodes", type=int, default=64, help="overlay members to boot (default 64)"
+    )
+    controller.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to shard the membership across; 1 keeps "
+        "the classic single-process cluster (default 1)",
+    )
+    controller.add_argument(
+        "--transport",
+        choices=["loopback", "tcp"],
+        default="loopback",
+        help="wire transport (default loopback)",
+    )
+    controller.add_argument(
+        "--encoding",
+        choices=["packed", "json"],
+        default="packed",
+        help="frame payload encoding (default packed)",
+    )
+    controller.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="management API listen interface (default 127.0.0.1)",
+    )
+    controller.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        metavar="PORT",
+        help="management API listen port; 0 picks a free one (default 8642)",
+    )
+    controller.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="snapshot refresh period / cache lifetime, wall seconds "
+        "(default 0.5)",
+    )
+    controller.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="serve for this many wall seconds then exit; 0 runs until "
+        "Ctrl-C (default 0)",
+    )
+    controller.add_argument(
+        "--heartbeat-period",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="wall seconds between failure-detector rounds (default 0.25)",
+    )
+    controller.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="wall seconds one HEARTBEAT probe waits (default 0.5)",
+    )
+    controller.add_argument(
+        "--recovery",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="arm the SWIM failure detector so /health reports live "
+        "verdicts (single-process clusters only; default on)",
+    )
+    controller.add_argument(
+        "--check-invariants",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the stack-wide invariant check on each /health "
+        "(default on; disable when the scrape budget matters)",
+    )
+    controller.add_argument(
+        "--bulk-boot",
+        action="store_true",
+        help="boot through the builder's batched bulk-join fast path",
+    )
+    controller.add_argument(
+        "--topo-scale",
+        type=float,
+        default=0.25,
+        help="transit-stub topology scale (default 0.25)",
+    )
+    controller.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="install the uvloop event-loop policy when available",
+    )
+    controller.add_argument(
+        "--seed", type=int, default=0, help="workload/overlay seed"
+    )
+    controller.set_defaults(func=cmd_controller)
     sub.add_parser("report", help="rewrite EXPERIMENTS.md from benchmarks/out")\
         .set_defaults(func=cmd_report)
     sub.add_parser("quickstart", help="build one overlay and print its stretch")\

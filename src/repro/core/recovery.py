@@ -637,3 +637,30 @@ def check_invariants(overlay, detector: FailureDetector = None) -> dict:
         "volume": can.total_volume(),
         "suspected": 0 if detector is None else len(detector.suspected),
     }
+
+
+def detector_verdicts(detector, members) -> dict:
+    """Per-member SWIM verdicts as the detector currently sees them.
+
+    ``detector`` is anything with the detector duck-type
+    (:class:`FailureDetector` or the runtime's
+    :class:`~repro.runtime.recovery.RuntimeRecovery`): a ``suspected``
+    mapping of node id to consecutive silent rounds and a
+    ``confirmed_dead`` list.  ``None`` means no detector is armed and
+    every member reads as ``alive``.  Returns ``{node_id: verdict}``
+    over ``members`` where the verdict is ``"alive"``, ``"suspected"``
+    or ``"confirmed_dead"`` -- the per-node health the management
+    plane's ``/health`` endpoint surfaces.
+    """
+    suspected = dict(getattr(detector, "suspected", None) or {})
+    confirmed = set(getattr(detector, "confirmed_dead", None) or ())
+    verdicts = {}
+    for node_id in members:
+        node_id = int(node_id)
+        if node_id in confirmed:
+            verdicts[node_id] = "confirmed_dead"
+        elif node_id in suspected:
+            verdicts[node_id] = "suspected"
+        else:
+            verdicts[node_id] = "alive"
+    return verdicts

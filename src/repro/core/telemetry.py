@@ -141,12 +141,24 @@ class Telemetry:
     # -- serialisation -----------------------------------------------------
 
     def snapshot(self) -> dict:
-        """JSON-serialisable copy of everything recorded so far."""
+        """JSON-serialisable copy of everything recorded so far.
+
+        Key order is *stable*: counters, gauges, event counts and
+        phase accumulators are emitted sorted by name rather than in
+        insertion order, so two runs that record the same values in a
+        different order produce byte-identical exports -- the property
+        the Prometheus ``/metrics`` exposition and the bench JSON
+        trajectory rely on.
+        """
         return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
-            "events": dict(self.event_counts),
-            "phases": {name: dict(acc) for name, acc in self.phases.items()},
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "events": {
+                name: self.event_counts[name] for name in sorted(self.event_counts)
+            },
+            "phases": {
+                name: dict(self.phases[name]) for name in sorted(self.phases)
+            },
             "trace": [event.to_dict() for event in self.events],
             "dropped_events": self.dropped_events,
         }

@@ -52,6 +52,7 @@ from repro.runtime.loadgen import LoadReport, latency_percentiles, run_load
 from repro.runtime.node import NodeProcess, PeerBusy, RemoteError, RequestTimeout
 from repro.runtime.recovery import RuntimeRecovery
 from repro.runtime.shard import (
+    NotSupportedError,
     PeeringTransport,
     ShardCrashed,
     ShardedCluster,
@@ -84,6 +85,7 @@ __all__ = [
     "LoopbackTransport",
     "MsgType",
     "NodeProcess",
+    "NotSupportedError",
     "PeerBusy",
     "PeeringTransport",
     "ProtocolError",

@@ -494,6 +494,23 @@ class Cluster:
             ),
         }
 
+    async def counters(self) -> dict:
+        """Cluster-wide counters in the sharded harness's aggregate shape.
+
+        Mirrors :meth:`~repro.runtime.shard.ShardedCluster.counters`
+        (``events`` / ``metrics`` / ``transport`` / ``overload``
+        sections) so the management plane reads one surface regardless
+        of which harness it owns.  Async for the same reason: on a
+        sharded cluster the numbers ride the control channel.
+        """
+        snapshot = self.network.telemetry.snapshot()
+        return {
+            "events": snapshot["events"],
+            "metrics": snapshot["counters"],
+            "transport": self.transport.counters(),
+            "overload": self.overload_counters(),
+        }
+
     # -- RPCs --------------------------------------------------------------
 
     async def lookup(self, src_id: int, point) -> dict:

@@ -74,6 +74,19 @@ class ShardCrashed(ShardError):
     """A shard worker process died (control pipe broken or EOF)."""
 
 
+class NotSupportedError(ShardError, NotImplementedError):
+    """A capability the sharded runtime does not provide yet.
+
+    Raised instead of a bare ``NotImplementedError`` so callers (the
+    management plane's ``/health``, harness-agnostic scripts) can
+    branch on the *kind* of refusal: the feature exists on the
+    single-process :class:`~repro.runtime.cluster.Cluster` and is
+    merely not ported across shard workers yet.  Subclasses
+    ``NotImplementedError`` so pre-existing ``except``/``raises``
+    sites keep working.
+    """
+
+
 #: start method for worker processes: fork (POSIX) boots without
 #: re-importing the scientific stack and inherits an installed uvloop
 #: policy; platforms without it fall back to spawn
@@ -557,6 +570,11 @@ class ShardedCluster:
         #: node id -> owning shard, set at boot
         self.assignment: dict = {}
         self.crashed: dict = {}
+        #: always ``None``: the wire SWIM loop does not span shards yet
+        #: (:meth:`enable_recovery` raises :class:`NotSupportedError`);
+        #: kept so harness-agnostic readers -- the management plane's
+        #: ``/health`` -- need no isinstance checks
+        self.recovery = None
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -832,10 +850,20 @@ class ShardedCluster:
         return self.network.faults
 
     async def enable_recovery(self, params=None, seed: int = 0xFD):
-        raise NotImplementedError(
+        """Unsupported: raises a typed :class:`NotSupportedError`.
+
+        The wire-level SWIM loop would have to probe across worker
+        processes; porting it onto the TCP peering plane is the
+        tracked next step (ROADMAP, DESIGN.md §13).  Until then
+        crash/leave injection flows over the control channel, and the
+        management plane reports ``recovery: unavailable (sharded)``
+        in ``/health`` instead of surfacing this as a server error.
+        """
+        raise NotSupportedError(
             "the wire-level SWIM recovery loop does not span shard "
-            "workers yet; crash/leave injection flows over the control "
-            "channel instead (see DESIGN.md §13)"
+            "workers yet (port it onto the TCP peering plane -- see "
+            "DESIGN.md §13 and the ROADMAP item); crash/leave "
+            "injection flows over the control channel instead"
         )
 
     # -- sim parity --------------------------------------------------------

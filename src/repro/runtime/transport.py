@@ -105,6 +105,20 @@ class Transport:
             await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
 
+    def counters(self) -> dict:
+        """Frame-accounting totals, in the shape stats aggregation merges.
+
+        Subclasses with extra planes (the sharded runtime's
+        :class:`~repro.runtime.shard.PeeringTransport`) override this
+        with their own breakdown; the keys stay summable numbers.
+        """
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "backpressure_drops": int(getattr(self, "backpressure_drops", 0)),
+        }
+
     # -- shaping and faults ------------------------------------------------
 
     def delay_for(self, src, dst) -> float:

@@ -120,6 +120,66 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--shed-policy", "random"])
 
+    def test_controller_flags_reach_configs(self):
+        from repro.cli import _controller_configs
+
+        args = build_parser().parse_args(
+            [
+                "controller",
+                "--nodes", "16",
+                "--shards", "2",
+                "--host", "0.0.0.0",
+                "--port", "9999",
+                "--refresh", "0.25",
+                "--no-check-invariants",
+                "--no-recovery",
+            ]
+        )
+        cluster_config, controller_config = _controller_configs(args)
+        assert cluster_config.nodes == 16
+        assert cluster_config.shards == 2
+        assert controller_config.host == "0.0.0.0"
+        assert controller_config.port == 9999
+        assert controller_config.refresh_s == 0.25
+        assert controller_config.check_invariants is False
+        assert args.recovery is False
+
+    def test_controller_flag_defaults(self):
+        from repro.cli import _controller_configs
+
+        args = build_parser().parse_args(["controller"])
+        cluster_config, controller_config = _controller_configs(args)
+        assert cluster_config.nodes == 64
+        assert cluster_config.shards == 1
+        assert controller_config.host == "127.0.0.1"
+        assert controller_config.port == 8642
+        assert controller_config.check_invariants is True
+        assert args.recovery is True
+        assert args.duration == 0.0
+
+    def test_controller_serves_for_duration(self, capsys):
+        code = main(
+            [
+                "controller",
+                "--nodes", "8",
+                "--duration", "0.5",
+                "--port", "0",
+                "--no-recovery",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "controller: 8 nodes over loopback" in out
+        assert "serving http://127.0.0.1:" in out
+
+    def test_cluster_status_port_flag_defaults_off(self):
+        args = build_parser().parse_args(["cluster", "--nodes", "8"])
+        assert args.status_port is None
+        args = build_parser().parse_args(
+            ["cluster", "--nodes", "8", "--status-port", "0"]
+        )
+        assert args.status_port == 0
+
     def test_run_with_profile(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "quick")
         assert main(["run", "gaps", "--profile", "--profile-top", "5"]) == 0

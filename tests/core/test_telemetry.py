@@ -107,6 +107,35 @@ class TestRoundTrip:
         assert json.dumps(data, sort_keys=True, indent=2) == text
 
 
+class TestSnapshotOrdering:
+    def test_snapshot_sections_are_sorted_by_name(self):
+        """/metrics and bench JSON depend on a stable key order: the
+        snapshot must come out sorted regardless of insertion order."""
+        telemetry = Telemetry()
+        for name in ("zeta", "alpha", "mid"):
+            telemetry.count(name, 1.0)
+            telemetry.gauge(name, 2)
+            telemetry.emit(name)
+            with telemetry.phase(name):
+                pass
+        snapshot = telemetry.snapshot()
+        for section in ("counters", "gauges", "events", "phases"):
+            keys = list(snapshot[section])
+            assert keys == sorted(keys) == ["alpha", "mid", "zeta"]
+
+    def test_snapshot_serialization_is_deterministic(self):
+        def build(order):
+            telemetry = Telemetry()
+            for name in order:
+                telemetry.count(name, 1.0)
+                telemetry.emit(name)
+            return telemetry
+
+        first = build(["b", "a", "c"])
+        second = build(["c", "b", "a"])
+        assert json.dumps(first.snapshot()) == json.dumps(second.snapshot())
+
+
 class TestDiff:
     def test_subtracts_counts_and_phases(self):
         clock = EventScheduler()

@@ -236,10 +236,16 @@ class TestChurn:
         assert result["owner"] != leaver
 
     def test_recovery_is_explicitly_unsupported(self):
+        from repro.runtime import NotSupportedError
+
         async def scenario():
             async with ShardedCluster(make_config(nodes=8)) as cluster:
-                with pytest.raises(NotImplementedError):
+                assert cluster.recovery is None
+                # typed refusal, still a NotImplementedError for old callers
+                with pytest.raises(NotSupportedError) as excinfo:
                     await cluster.enable_recovery()
+                assert isinstance(excinfo.value, NotImplementedError)
+                assert "peering plane" in str(excinfo.value)
 
         run(scenario())
 
